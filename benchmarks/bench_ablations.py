@@ -1,0 +1,59 @@
+"""Ablation benches for the design claims DESIGN.md §5 calls out."""
+
+import pytest
+
+from repro.experiments import ablations
+
+from conftest import record_result
+
+
+def test_patch_size_mechanism(benchmark):
+    """Close-range vulnerability <=> larger perturbable area (§V-B.1)."""
+    rows = benchmark.pedantic(ablations.patch_size_sweep, rounds=1,
+                              iterations=1)
+    record_result("ablation_patch_size", ablations.render_patch_size(rows))
+
+    # Attack surface shrinks monotonically with distance...
+    areas = [r.box_area_px for r in rows]
+    assert areas == sorted(areas, reverse=True)
+    # ...and so does attack-induced error, comparing near vs far thirds.
+    third = max(1, len(rows) // 3)
+    near = sum(r.induced_error_m for r in rows[:third]) / third
+    far = sum(r.induced_error_m for r in rows[-third:]) / third
+    assert near > far
+
+
+def test_apgd_vs_pgd(benchmark):
+    """Auto-PGD's adaptation should meet or beat plain PGD per budget."""
+    rows = benchmark.pedantic(ablations.apgd_vs_pgd, rounds=1, iterations=1)
+    record_result("ablation_apgd_vs_pgd", ablations.render_apgd_vs_pgd(rows))
+
+    by_key = {(r.attack, r.n_iter): r.close_range_error_m for r in rows}
+    wins = sum(by_key[("Auto-PGD", n)] >= by_key[("PGD", n)] - 2.0
+               for n in (5, 10, 20))
+    assert wins >= 2  # Auto-PGD competitive-or-better at most budgets
+
+
+def test_diffusion_steps_tradeoff(benchmark):
+    """More DiffPIR steps cost linearly more time (the real-time blocker)."""
+    rows = benchmark.pedantic(ablations.diffusion_steps_sweep, rounds=1,
+                              iterations=1)
+    record_result("ablation_diffusion_steps",
+                  ablations.render_diffusion_steps(rows))
+
+    times = {r.n_steps: r.ms_per_frame for r in rows}
+    assert times[20] > times[2]
+    maes = {r.n_steps: r.restoration_mae for r in rows}
+    # Restoration quality must not degrade wildly with more steps.
+    assert maes[10] < maes[2] * 1.5
+
+
+def test_weather_conditions(benchmark):
+    """Fog/rain/night degrade clean perception (the paper's §III-A framing)."""
+    rows = benchmark.pedantic(ablations.weather_sweep, rounds=1, iterations=1)
+    record_result("ablation_weather", ablations.render_weather(rows))
+
+    by_condition = {r.condition: r for r in rows}
+    assert by_condition["fog"].clean_mae_m > by_condition["clear"].clean_mae_m
+    assert by_condition["night"].clean_mae_m >= \
+        by_condition["clear"].clean_mae_m - 0.2

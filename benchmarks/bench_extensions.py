@@ -1,0 +1,136 @@
+"""Extension benches: the paper's §VI future-work directions, implemented.
+
+* Range-adaptive composed preprocessing (randomization near / blur far).
+* Distance-aware adversarial training (far-sample up-weighting).
+* Closed-loop safety: CAP-Attack vs the FCW/AEB monitor in the ACC loop.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+
+from repro.eval.reporting import format_table
+
+
+def test_range_adaptive_defense(benchmark):
+    """Randomization near + median blur far beats randomization-everywhere
+    at long range while keeping most of its close-range benefit."""
+    from repro.configs import make_regression_attack
+    from repro.defenses import MedianBlur, Randomization, RangeAdaptiveDefense
+    from repro.eval import evaluate_distance, make_balanced_eval_frames
+    from repro.eval.harness import attack_driving_frames
+    from repro.models.zoo import get_regressor
+
+    regressor = get_regressor()
+    images, distances, boxes = make_balanced_eval_frames(n_per_range=8,
+                                                         seed=41)
+    adv = attack_driving_frames(regressor, images, distances, boxes,
+                                make_regression_attack("Auto-PGD"))
+
+    def evaluate():
+        adaptive = RangeAdaptiveDefense(
+            Randomization(seed=2), MedianBlur(3),
+            range_probe=lambda f: float(regressor.predict(f[None])[0]),
+            threshold_m=40.0)
+        rows = {}
+        for name, defense in (("None", None),
+                              ("Randomization", Randomization(seed=2)),
+                              ("Range-Adaptive", adaptive)):
+            rows[name] = evaluate_distance(
+                regressor, images, distances, boxes,
+                adversarial_images=adv, defense=defense).range_errors
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    table_rows = [[name] + [f"{v:+.2f}" for v in err.as_row()]
+                  for name, err in rows.items()]
+    record_result("extension_range_adaptive", format_table(
+        ["Defense", "[0,20]", "[20,40]", "[40,60]", "[60,80]"], table_rows,
+        title="Extension: range-adaptive defense vs Auto-PGD (m error)"))
+
+    assert abs(rows["Range-Adaptive"][(60, 80)]) < abs(
+        rows["Randomization"][(60, 80)])
+    assert rows["Range-Adaptive"][(0, 20)] < rows["None"][(0, 20)]
+
+
+def test_distance_aware_adversarial_training(benchmark):
+    """Far-sample up-weighting limits the long-range penalty of mixed
+    adversarial training (the -43 m pathology of Table III)."""
+    from repro.configs import make_regression_attack
+    from repro.defenses import (adversarial_train_regressor,
+                                distance_aware_adversarial_train_regressor,
+                                generate_adversarial_frames)
+    from repro.eval import make_balanced_eval_frames
+    from repro.models.zoo import get_regressor
+
+    regressor = get_regressor()
+    images, distances, boxes = make_balanced_eval_frames(n_per_range=8,
+                                                         seed=43)
+    adv = generate_adversarial_frames(
+        regressor, images, distances, boxes,
+        make_regression_attack("Auto-PGD"))
+
+    def train_both():
+        plain = adversarial_train_regressor(
+            adv, distances, clean_images=images, clean_distances=distances,
+            epochs=10, seed=0, init_from=regressor)
+        aware = distance_aware_adversarial_train_regressor(
+            adv, distances, images, distances, epochs=10, seed=0,
+            init_from=regressor, far_weight=3.0)
+        return plain, aware
+
+    plain, aware = benchmark.pedantic(train_both, rounds=1, iterations=1)
+    far = distances > 60.0
+    plain_far = float(np.abs(plain.predict(images[far]) - distances[far]).mean())
+    aware_far = float(np.abs(aware.predict(images[far]) - distances[far]).mean())
+    record_result("extension_distance_aware_training", format_table(
+        ["Training", "clean far-range MAE (m)"],
+        [["standard adv. training", f"{plain_far:.2f}"],
+         ["distance-aware (3x far weight)", f"{aware_far:.2f}"]],
+        title="Extension: distance-aware adversarial training"))
+    assert aware_far <= plain_far + 1.0
+
+
+def test_closed_loop_safety(benchmark):
+    """System-level: CAP-Attack vs the AEB monitor in the ACC loop."""
+    from repro.attacks import CAPAttack
+    from repro.models.zoo import get_regressor
+    from repro.pipeline import (ClosedLoopSimulator, ScenarioConfig,
+                                make_cap_runtime_attack)
+
+    regressor = get_regressor()
+    scenario = ScenarioConfig(duration_s=20.0, initial_gap_m=50.0,
+                              ego_speed=28.0, lead_speed=25.0)
+
+    def run_three():
+        clean = ClosedLoopSimulator(regressor, seed=3).run(scenario)
+        attacked = ClosedLoopSimulator(regressor, seed=3,
+                                       enable_safety=False).run(
+            scenario, attack=make_cap_runtime_attack(
+                CAPAttack(eps=0.12, steps_per_frame=2)))
+        guarded = ClosedLoopSimulator(regressor, seed=3,
+                                      enable_safety=True).run(
+            scenario, attack=make_cap_runtime_attack(
+                CAPAttack(eps=0.12, steps_per_frame=2)))
+        return clean, attacked, guarded
+
+    clean, attacked, guarded = benchmark.pedantic(run_three, rounds=1,
+                                                  iterations=1)
+
+    def describe(result):
+        outcome = "COLLISION" if result.collided else "ok"
+        return [outcome, f"{result.min_distance:.1f}",
+                str(result.fcw_count), str(result.aeb_count)]
+
+    record_result("extension_closed_loop_safety", format_table(
+        ["Configuration", "Outcome", "Min gap (m)", "FCW", "AEB"],
+        [["clean"] + describe(clean),
+         ["CAP, no safety"] + describe(attacked),
+         ["CAP + AEB"] + describe(guarded)],
+        title="Extension: closed-loop ACC under CAP-Attack"))
+
+    assert not clean.collided
+    assert (attacked.collided
+            or attacked.min_distance < clean.min_distance - 1.0)
+    assert guarded.min_distance >= attacked.min_distance - 1e-6

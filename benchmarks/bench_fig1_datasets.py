@@ -1,0 +1,46 @@
+"""Fig. 1: dataset examples — render one scene from each synthetic dataset.
+
+The paper's Fig. 1 just shows a sample from each dataset; the reproduction
+equivalent is exercising both renderers and reporting their content/stats.
+The benchmark measures rendering throughput (the simulator's data path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.driving import generate_video, render_frame
+from repro.data.signs import render_scene
+from repro.eval.reporting import format_table
+
+from conftest import record_result
+
+
+def test_fig1_dataset_examples(benchmark):
+    def render_examples():
+        rng = np.random.default_rng(0)
+        scene = render_scene(rng, force_sign=True)
+        frame = render_frame(15.0, rng)
+        return scene, frame
+
+    scene, frame = benchmark(render_examples)
+
+    rows = [
+        ["Traffic-sign scene (synthetic)", str(scene.image.shape),
+         f"{len(scene.boxes)} stop sign(s)",
+         f"[{scene.image.min():.2f}, {scene.image.max():.2f}]"],
+        ["Driving frame (synthetic)", str(frame.image.shape),
+         f"lead @ {frame.distance:.0f} m, box {frame.lead_box}",
+         f"[{frame.image.min():.2f}, {frame.image.max():.2f}]"],
+    ]
+    record_result("fig1_dataset_examples", format_table(
+        ["Dataset example", "shape", "content", "pixel range"], rows,
+        title="Fig. 1: example of datasets (synthetic substitutes)"))
+
+    assert scene.has_sign
+    assert frame.has_lead
+
+
+def test_video_generation_throughput(benchmark):
+    """Frames/second of the comma2k19-substitute video generator."""
+    video = benchmark(lambda: generate_video(20, seed=3))
+    assert len(video) == 20

@@ -1,0 +1,32 @@
+"""Fig. 2: stop-sign detection performance with/without attacks."""
+
+import pytest
+
+from repro.experiments import fig2
+
+from conftest import record_result
+
+
+def test_fig2_reproduction(benchmark):
+    rows = benchmark.pedantic(fig2.run, kwargs={"n_scenes": 60}, rounds=1,
+                              iterations=1)
+    record_result("fig2_stop_sign_detection", fig2.render(rows))
+
+    clean = rows["No Attack"]
+    assert clean.map50 > 93.0, "clean detector must be near-saturated"
+    # Fig. 2 shape: Gaussian and FGSM are the damaging attacks...
+    assert rows["FGSM"].map50 < clean.map50 - 15.0
+    assert rows["Gaussian Noise"].map50 < clean.map50 - 10.0
+    # ...while Auto-PGD (at the standard imperceptibility budget) is limited.
+    assert rows["Auto-PGD"].map50 > rows["FGSM"].map50
+    # Attacks suppress signs: recall collapses while precision survives.
+    assert rows["FGSM"].recall < clean.recall - 15.0
+
+
+def test_detection_inference_speed(benchmark):
+    """Per-batch detector inference cost (the 20 Hz budget context)."""
+    from repro.models.zoo import get_detector, get_sign_testset
+    detector = get_detector()
+    images = get_sign_testset(n_scenes=16, seed=5).images()
+    result = benchmark(lambda: detector.detect(images))
+    assert len(result) == 16

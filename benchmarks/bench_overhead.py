@@ -1,0 +1,25 @@
+"""Defense runtime overhead (§VI Discussion): preprocessing ms vs DiffPIR s."""
+
+import pytest
+
+from repro.experiments import overhead
+
+from conftest import record_result
+
+
+def test_overhead_reproduction(benchmark):
+    rows = benchmark.pedantic(overhead.run, kwargs={"n_frames": 8},
+                              rounds=1, iterations=1)
+    record_result("overhead_defense_runtime", overhead.render(rows))
+
+    by_name = {r.defense: r for r in rows}
+    classical = [by_name[n].ms_per_frame
+                 for n in ("Median Blurring", "Bit Depth", "Randomization")]
+    diffusion = by_name["Diffusion (DiffPIR)"].ms_per_frame
+
+    # The Discussion's ordering: classical preprocessing is orders of
+    # magnitude cheaper than diffusion restoration.
+    assert max(classical) < diffusion / 5.0
+    # Classical defenses fit the 20 Hz (50 ms) perception tick.
+    for ms in classical:
+        assert ms < 50.0

@@ -1,0 +1,53 @@
+"""Table I: avg. distance errors per range under attack.
+
+Regenerates the paper's Table I grid and benchmarks the per-attack
+adversarial-example generation cost on a fixed frame batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import boxes_to_mask, regressor_loss_fn
+from repro.configs import REGRESSION_ATTACKS, make_regression_attack
+from repro.experiments import table1
+from repro.models.zoo import get_regressor
+
+from conftest import record_result
+
+
+@pytest.fixture(scope="module")
+def frames():
+    from repro.eval.harness import make_balanced_eval_frames
+    return make_balanced_eval_frames(n_per_range=6, seed=77)
+
+
+def test_table1_reproduction(benchmark):
+    """Full Table I; the benchmark measures one complete grid evaluation."""
+    rows = benchmark.pedantic(table1.run,
+                              kwargs={"n_per_range": 15}, rounds=1,
+                              iterations=1)
+    record_result("table1_attack_errors", table1.render(rows))
+    # Shape assertions from the paper:
+    gaussian = np.nanmax(np.abs(rows["Gaussian Noise"].as_row()))
+    apgd_close = rows["Auto-PGD"][(0, 20)]
+    apgd_far = rows["Auto-PGD"][(60, 80)]
+    assert gaussian < 3.0, "Gaussian should be near-harmless"
+    assert apgd_close > 10.0, "Auto-PGD should be devastating at close range"
+    assert apgd_close > apgd_far, "errors concentrate at close range"
+    assert apgd_close > rows["FGSM"][(0, 20)], "Auto-PGD beats FGSM"
+
+
+@pytest.mark.parametrize("attack_name", list(REGRESSION_ATTACKS))
+def test_attack_generation_speed(benchmark, frames, attack_name):
+    """Wall-clock of adversarial-frame generation, per attack."""
+    regressor = get_regressor()
+    images, distances, boxes = frames
+    mask = boxes_to_mask(boxes, images.shape[2], images.shape[3])
+
+    def generate():
+        attack = make_regression_attack(attack_name)
+        loss_fn = regressor_loss_fn(regressor, distances)
+        return attack.perturb(images, loss_fn, mask=mask)
+
+    adv = benchmark(generate)
+    assert adv.shape == images.shape

@@ -1,0 +1,57 @@
+"""Table III: adversarial-training cross-attack transfer grid.
+
+First run retrains 5 detectors + 5 regressors (cached thereafter), so this
+is the most expensive benchmark in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table3
+
+from conftest import record_result
+
+
+def test_table3_reproduction(benchmark):
+    rows = benchmark.pedantic(
+        table3.run, kwargs={"n_per_range": 8, "n_test_scenes": 40},
+        rounds=1, iterations=1)
+    record_result("table3_adversarial_training", table3.render(rows))
+
+    indexed = {(r.trained_on, r.attacked_by): r for r in rows}
+
+    # Adversarial training slashes the close-range Auto-PGD error relative
+    # to the undefended baseline (34.45 -> ~6 m in the paper).
+    from repro.experiments import table1
+    mixed_vs_apgd = indexed[("Mixed", "Auto-PGD")].range_errors[(0, 20)]
+    assert mixed_vs_apgd < 15.0
+
+    # Cross-attack transfer is imperfect but real: every retrained model
+    # keeps detection mAP50 above a floor on attacks it never saw.
+    for (trained_on, attacked_by), row in indexed.items():
+        assert row.detection.map50 > 30.0, (
+            f"{trained_on} vs {attacked_by} collapsed")
+
+    # Mixed training is balanced: its worst-case detection mAP across
+    # attacks is no worse than the worst case of single-attack training.
+    def worst(source):
+        return min(row.detection.map50 for (s, _), row in indexed.items()
+                   if s == source)
+
+    singles_worst = min(worst(s) for s in table3.ROW_NAMES)
+    assert worst("Mixed") >= singles_worst - 5.0
+
+
+def test_adversarial_retraining_speed(benchmark):
+    """Cost of one adversarial fine-tuning epoch (detector)."""
+    from repro.defenses import adversarial_train_detector
+    from repro.models.zoo import get_sign_dataset
+    dataset = get_sign_dataset(40, seed=3)
+    images = dataset.images()
+    targets = [s.boxes for s in dataset.scenes]
+
+    result = benchmark.pedantic(
+        adversarial_train_detector,
+        kwargs={"adv_images": images, "adv_targets": targets, "epochs": 1},
+        rounds=1, iterations=1)
+    assert result is not None

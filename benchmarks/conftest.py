@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_*`` file regenerates one table/figure of the paper.  The
+rendered tables are collected here and re-emitted in the terminal summary so
+that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the actual reproduced numbers, not just timings.  Tables are also written to
+``benchmarks/results/``.
+"""
+
+import os
+from typing import Dict
+
+_RESULTS: Dict[str, str] = {}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(name: str, table: str) -> None:
+    """Register a rendered table for the terminal summary + results dir."""
+    _RESULTS[name] = table
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    terminalreporter.section("reproduced tables & figures")
+    for name in sorted(_RESULTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {name}")
+        for line in _RESULTS[name].splitlines():
+            terminalreporter.write_line(line)

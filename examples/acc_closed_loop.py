@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Closed-loop ACC under CAP-Attack — the OpenPilot scenario.
+
+Simulates the ego vehicle following a slower lead at 20 Hz in four
+configurations:
+
+1. clean perception,
+2. CAP-Attack on the camera stream (no safety monitor),
+3. CAP-Attack with the FCW/AEB safety monitor active,
+4. CAP-Attack with a runtime median-blur input defense.
+
+This is the system-level consequence of Table I's numbers: inflating the
+perceived lead distance makes ACC close in on the lead.
+
+    python examples/acc_closed_loop.py
+"""
+
+from repro.attacks import CAPAttack
+from repro.defenses import MedianBlur
+from repro.eval.reporting import format_table
+from repro.models.zoo import get_regressor
+from repro.pipeline import (ClosedLoopSimulator, ScenarioConfig,
+                            make_cap_runtime_attack)
+
+
+def run(label, defense=None, attack=False, safety=True, seed=7):
+    regressor = get_regressor()
+    scenario = ScenarioConfig(duration_s=30.0, initial_gap_m=55.0,
+                              ego_speed=28.0, lead_speed=25.0)
+    simulator = ClosedLoopSimulator(regressor, defense=defense,
+                                    enable_safety=safety, seed=seed)
+    hook = (make_cap_runtime_attack(CAPAttack(eps=0.12, steps_per_frame=2))
+            if attack else None)
+    result = simulator.run(scenario, attack=hook)
+    status = "COLLISION" if result.collided else "ok"
+    return [label, status, f"{result.min_distance:.1f}",
+            f"{result.perception_errors().mean():.2f}",
+            str(result.fcw_count), str(result.aeb_count)]
+
+
+def main() -> None:
+    rows = [
+        run("clean", attack=False),
+        run("CAP attack, no safety", attack=True, safety=False),
+        run("CAP attack + AEB", attack=True, safety=True),
+        run("CAP attack + median blur", attack=True, safety=False,
+            defense=MedianBlur(3)),
+    ]
+    print(format_table(
+        ["Configuration", "Outcome", "Min gap (m)", "Percep. MAE (m)",
+         "FCW", "AEB"],
+        rows, title="Closed-loop ACC, 30 s following scenario"))
+    print("\nCAP-Attack inflates perceived distance, so the planner closes "
+          "in;\nthe safety monitor or a runtime input defense restores the "
+          "margin.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: attack both perception models and print the damage.
+
+Runs in ~1 minute after the model zoo is warm (first run trains the two
+models and caches them under ``.cache/``).
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.attacks import AutoPGDAttack, FGSMAttack, GaussianNoiseAttack
+from repro.configs import make_detection_attack, make_regression_attack
+from repro.eval import (evaluate_detection, evaluate_distance,
+                        make_balanced_eval_frames)
+from repro.eval.reporting import fig2, format_range_errors, table1
+from repro.models.zoo import get_detector, get_regressor, get_sign_testset
+
+
+def main() -> None:
+    print("Loading (or training) the model zoo...")
+    detector = get_detector()
+    regressor = get_regressor()
+
+    # ------------------------------------------------------------------
+    print("\n=== Task 1: stop-sign detection (YOLOv8 stand-in) ===")
+    testset = get_sign_testset(n_scenes=60, seed=999)
+    rows = {"Clean": evaluate_detection(detector, testset)}
+    for name in ("Gaussian Noise", "FGSM", "Auto-PGD"):
+        rows[name] = evaluate_detection(detector, testset,
+                                        attack=make_detection_attack(name))
+    print(fig2(rows))
+
+    # ------------------------------------------------------------------
+    print("\n=== Task 2: lead-distance regression (Supercombo stand-in) ===")
+    images, distances, boxes = make_balanced_eval_frames(n_per_range=10,
+                                                         seed=123)
+    table_rows = {}
+    for name in ("Gaussian Noise", "FGSM", "Auto-PGD", "CAP-Attack"):
+        result = evaluate_distance(regressor, images, distances, boxes,
+                                   attack=make_regression_attack(name))
+        table_rows[name] = result.range_errors
+    print(table1(table_rows))
+
+    print("\nKey takeaways (matching the paper):")
+    print(" * Gaussian noise barely moves the regressor;")
+    print(" * Auto-PGD is the strongest gradient attack, and all attacks")
+    print("   hit hardest at close range where the lead fills more pixels;")
+    print(" * detection attacks collapse recall while precision survives.")
+
+
+if __name__ == "__main__":
+    main()

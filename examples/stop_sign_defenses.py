@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Stop-sign detection: every input defense against every attack.
+
+A compact version of the detection half of Table II plus the diffusion row
+of Table V: for each attack, show mAP@50 / precision / recall with no
+defense and with each input-level defense.
+
+    python examples/stop_sign_defenses.py
+"""
+
+from repro.configs import (BIT_DEPTH_BITS, DIFFPIR_SIGNS,
+                           MEDIAN_BLUR_KERNEL, make_detection_attack)
+from repro.defenses import (BitDepthReduction, DiffPIRDefense, MedianBlur,
+                            Randomization)
+from repro.eval import attack_sign_dataset, evaluate_detection
+from repro.eval.reporting import format_table
+from repro.models.zoo import get_detector, get_diffusion, get_sign_testset
+
+
+def main() -> None:
+    detector = get_detector()
+    testset = get_sign_testset(n_scenes=50, seed=999)
+    diffusion = DiffPIRDefense(get_diffusion("signs"), seed=0,
+                               **DIFFPIR_SIGNS)
+    defenses = {
+        "None": None,
+        "Median Blurring": MedianBlur(MEDIAN_BLUR_KERNEL),
+        "Randomization": Randomization(seed=0),
+        "Bit Depth": BitDepthReduction(BIT_DEPTH_BITS),
+        "Diffusion": diffusion,
+    }
+
+    rows = []
+    for attack_name in ("Gaussian Noise", "FGSM", "Auto-PGD", "RP2"):
+        # Generate the adversarial test set once per attack, then apply
+        # every defense to the same images (the paper's protocol).
+        attack = make_detection_attack(attack_name)
+        adversarial = attack_sign_dataset(detector, testset, attack)
+        for defense_name, defense in defenses.items():
+            metrics = evaluate_detection(detector, testset, defense=defense,
+                                         adversarial_images=adversarial)
+            rows.append([attack_name, defense_name,
+                         f"{metrics.map50:.2f}", f"{metrics.precision:.2f}",
+                         f"{metrics.recall:.2f}"])
+    print(format_table(
+        ["Attack", "Defense", "mAP50", "Prec.", "Recall"], rows,
+        title="Stop-sign detection: input defenses vs attacks (%)"))
+
+    print(f"\nDiffPIR runtime: {diffusion.last_runtime_s:.2f}s per batch "
+          "(vs ~ms for classical preprocessing) — the Discussion's point "
+          "about DiffPIR being unusable in real time.")
+
+
+if __name__ == "__main__":
+    main()

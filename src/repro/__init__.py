@@ -1,0 +1,22 @@
+"""repro — reproduction of *Revisiting Adversarial Perception Attacks and
+Defense Methods on Autonomous Driving Systems* (DSN 2025).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.nn` — from-scratch autodiff + layers (the PyTorch substitute)
+* :mod:`repro.data` — synthetic sign & driving datasets
+* :mod:`repro.models` — TinyDetector (YOLOv8 stand-in), DistanceRegressor
+  (Supercombo stand-in), and the cached model zoo
+* :mod:`repro.attacks` — Gaussian, FGSM, Auto-PGD, SimBA, RP2, CAP
+* :mod:`repro.defenses` — image processing, adversarial training,
+  contrastive learning, DiffPIR diffusion restoration
+* :mod:`repro.eval` — metrics + attack/defense grid harness + table reports
+* :mod:`repro.pipeline` — closed-loop OpenPilot-like ACC simulator
+"""
+
+__version__ = "1.0.0"
+
+from . import attacks, data, defenses, eval, models, nn, pipeline
+
+__all__ = ["nn", "data", "models", "attacks", "defenses", "eval",
+           "pipeline", "__version__"]

@@ -1,0 +1,35 @@
+"""``repro.attacks`` — the six adversarial attacks of §III.
+
+========================  =========  ==========================================
+Attack                    Knowledge  Paper section
+========================  =========  ==========================================
+GaussianNoiseAttack       none       §III-A, eq. (1)
+FGSMAttack                white-box  §III-B, eq. (2)
+AutoPGDAttack             white-box  §III-C, eq. (3)  (+ PGDAttack ablation)
+SimBAAttack               black-box  §III-D, eq. (4)
+RP2Attack                 white-box  §III-E.1, eq. (6)
+CAPAttack                 white-box  §III-E.2, eq. (7)  (runtime, stateful)
+========================  =========  ==========================================
+
+All attacks share the :class:`Attack` interface; models enter via loss
+adapters from :mod:`repro.attacks.base`.
+"""
+
+from .autopgd import AutoPGDAttack, PGDAttack
+from .base import (Attack, BatchLossAdapter, LossFn, boxes_to_mask,
+                   detector_loss_fn, full_mask, input_gradient,
+                   regressor_loss_fn, slice_loss_fn,
+                   targeted_regressor_loss_fn)
+from .cap import CAPAttack
+from .fgsm import FGSMAttack
+from .gaussian import GaussianNoiseAttack
+from .rp2 import RP2Attack
+from .simba import SimBAAttack, SimBAResult
+
+__all__ = [
+    "Attack", "BatchLossAdapter", "LossFn", "boxes_to_mask", "full_mask",
+    "input_gradient", "slice_loss_fn",
+    "detector_loss_fn", "regressor_loss_fn", "targeted_regressor_loss_fn",
+    "GaussianNoiseAttack", "FGSMAttack", "AutoPGDAttack", "PGDAttack",
+    "SimBAAttack", "SimBAResult", "RP2Attack", "CAPAttack",
+]

@@ -1,0 +1,168 @@
+"""Attack interface and loss adapters.
+
+Every attack transforms a numpy image batch into an adversarial batch.  The
+model enters through a *loss adapter*: a callable ``loss_fn(x: Tensor) ->
+Tensor`` returning a scalar the attacker wants to INCREASE (task loss for
+white-box attacks, and the same quantity probed by queries for black-box
+ones).  This keeps each algorithm task-agnostic — the same FGSM code attacks
+the detector and the regressor, exactly as in the paper.
+
+Attacks may be *masked*: a float mask (broadcastable to the image batch)
+confines the perturbation to a region — the lead-vehicle bounding box for
+CAP-Attack/Table I, or the sign surface for RP2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..models.detector import TinyDetector
+from ..models.distance import DistanceRegressor
+from ..nn import Tensor
+
+LossFn = Callable[[Tensor], Tensor]
+
+
+class Attack(ABC):
+    """Base class for adversarial perturbation generators."""
+
+    #: human-readable name used in reports
+    name: str = "attack"
+
+    @abstractmethod
+    def perturb(self, images: np.ndarray, loss_fn: LossFn,
+                mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return adversarial images (same shape, clipped to [0, 1])."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def full_mask(images: np.ndarray) -> np.ndarray:
+    return np.ones_like(images[:, :1])
+
+
+def boxes_to_mask(boxes: Sequence[Optional[Sequence[float]]],
+                  height: int, width: int) -> np.ndarray:
+    """Rasterize per-image boxes into an (N,1,H,W) perturbation mask.
+
+    ``None`` entries (no lead vehicle / no sign) produce an all-zero mask, so
+    those images pass through the attack unchanged.
+    """
+    n = len(boxes)
+    mask = np.zeros((n, 1, height, width), dtype=np.float32)
+    for i, box in enumerate(boxes):
+        if box is None:
+            continue
+        x1, y1, x2, y2 = box
+        x1 = int(np.clip(np.floor(x1), 0, width))
+        x2 = int(np.clip(np.ceil(x2), 0, width))
+        y1 = int(np.clip(np.floor(y1), 0, height))
+        y2 = int(np.clip(np.ceil(y2), 0, height))
+        mask[i, 0, y1:y2, x1:x2] = 1.0
+    return mask
+
+
+class BatchLossAdapter:
+    """A loss over an image batch that can also be sliced per image.
+
+    Per-example attacks (SimBA, CAP) need the loss restricted to one image;
+    :meth:`for_index` returns that restriction.
+    """
+
+    def __init__(self, batch_fn: Callable[[Tensor], Tensor],
+                 single_fn: Callable[[Tensor, int], Tensor]):
+        self._batch_fn = batch_fn
+        self._single_fn = single_fn
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self._batch_fn(x)
+
+    def for_index(self, index: int) -> LossFn:
+        """Loss adapter for image ``index`` alone (expects a (1,C,H,W) batch)."""
+        return lambda x: self._single_fn(x, index)
+
+
+def detector_loss_fn(model: TinyDetector, targets: Sequence[Sequence],
+                     mode: str = "suppress") -> BatchLossAdapter:
+    """Adversarial objective for the detector.
+
+    ``mode="suppress"`` (default, the paper's failure mode) hides signs:
+    recall collapses while precision survives — the Fig. 2 signature.
+    ``mode="full"`` maximizes the entire detection loss, which additionally
+    spawns phantom detections; kept for ablations.
+    """
+    if mode == "suppress":
+        return BatchLossAdapter(
+            lambda x: model.suppression_loss(x, targets),
+            lambda x, i: model.suppression_loss(x, [targets[i]]))
+    if mode == "full":
+        return BatchLossAdapter(
+            lambda x: model.loss(x, targets),
+            lambda x, i: model.loss(x, [targets[i]]))
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def regressor_loss_fn(model: DistanceRegressor,
+                      true_distances_m: np.ndarray,
+                      mode: str = "inflate") -> BatchLossAdapter:
+    """Adversarial objective for the regressor.
+
+    The default ``inflate`` mode maximizes the predicted distance — the
+    direction that endangers ACC (see
+    :meth:`repro.models.DistanceRegressor.attack_loss`).
+    """
+    distances = np.asarray(true_distances_m, dtype=np.float32)
+    return BatchLossAdapter(
+        lambda x: model.attack_loss(x, distances, mode=mode),
+        lambda x, i: model.attack_loss(x, distances[i:i + 1], mode=mode))
+
+
+def targeted_regressor_loss_fn(model: DistanceRegressor,
+                               target_distance_m: float) -> BatchLossAdapter:
+    """Targeted regression objective: drive predictions to a chosen value.
+
+    SimBA's targeted mode (§III-D) and CAP-style spoofing both reduce to
+    maximizing this: the negative squared distance between the prediction
+    and the attacker's target.
+    """
+    from ..data.driving import MAX_DISTANCE
+
+    target = np.float32(target_distance_m / MAX_DISTANCE)
+
+    def objective(x: Tensor) -> Tensor:
+        prediction = model.forward(x)
+        return -1.0 * ((prediction - Tensor(np.array([[target]]))) ** 2).mean()
+
+    return BatchLossAdapter(objective, lambda x, i: objective(x))
+
+
+def slice_loss_fn(loss_fn: LossFn, index: int) -> LossFn:
+    """Per-image restriction of ``loss_fn`` when available.
+
+    Falls back to the batch callable itself for plain closures, which is
+    correct whenever the closure already targets single-image batches.
+    """
+    if isinstance(loss_fn, BatchLossAdapter):
+        return loss_fn.for_index(index)
+    return loss_fn
+
+
+def input_gradient(images: np.ndarray, loss_fn: LossFn,
+                   mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Gradient of the adversarial loss w.r.t. the input pixels."""
+    x = Tensor(images.copy(), requires_grad=True)
+    loss = loss_fn(x)
+    loss.backward()
+    grad = x.grad
+    if mask is not None:
+        grad = grad * mask
+    return grad
+
+
+def apply_mask(perturbation: np.ndarray,
+               mask: Optional[np.ndarray]) -> np.ndarray:
+    return perturbation if mask is None else perturbation * mask

@@ -1,0 +1,37 @@
+"""Gaussian-noise attack — eq. (1) of the paper.
+
+The simplest perturbation: additive zero-mean Gaussian noise, not optimized
+against the model.  The paper uses it as the weak baseline (Table I shows it
+barely moves the regressor) and as a proxy for sensor noise in fog/rain/night
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Attack, LossFn, apply_mask
+
+
+class GaussianNoiseAttack(Attack):
+    """x_adv = clip(x + eps), eps ~ N(0, sigma^2)."""
+
+    name = "Gaussian Noise"
+
+    def __init__(self, sigma: float = 0.08, seed: int = 0):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+        self._rng = np.random.default_rng(seed)
+
+    def perturb(self, images: np.ndarray, loss_fn: Optional[LossFn] = None,
+                mask: Optional[np.ndarray] = None) -> np.ndarray:
+        noise = self._rng.normal(0.0, self.sigma,
+                                 size=images.shape).astype(np.float32)
+        noise = apply_mask(noise, mask)
+        return np.clip(images + noise, 0.0, 1.0).astype(np.float32)
+
+    def __repr__(self) -> str:
+        return f"GaussianNoiseAttack(sigma={self.sigma})"

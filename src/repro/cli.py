@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any experiment from the shell.
+
+::
+
+    python -m repro list                 # what can I run?
+    python -m repro table1               # Table I
+    python -m repro fig2 --scenes 40     # Fig. 2, smaller eval set
+    python -m repro all                  # everything (first run trains
+                                         # defense variants; cached after)
+    python -m repro fig1 --out results/  # write Fig. 1 example images
+
+Results print to stdout and are also written under ``--out`` (default
+``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from . import experiments, viz
+
+Runner = Callable[[argparse.Namespace], str]
+
+
+def _run_table1(args) -> str:
+    return experiments.table1.render(
+        experiments.table1.run(n_per_range=args.frames_per_range))
+
+
+def _run_fig2(args) -> str:
+    return experiments.fig2.render(
+        experiments.fig2.run(n_scenes=args.scenes))
+
+
+def _run_table2(args) -> str:
+    return experiments.table2.render(experiments.table2.run(
+        n_per_range=args.frames_per_range, n_scenes=args.scenes))
+
+
+def _run_table3(args) -> str:
+    return experiments.table3.render(experiments.table3.run(
+        n_per_range=max(4, args.frames_per_range // 2),
+        n_test_scenes=args.scenes))
+
+
+def _run_table4(args) -> str:
+    return experiments.table4.render(
+        experiments.table4.run(n_test_scenes=args.scenes))
+
+
+def _run_table5(args) -> str:
+    return experiments.table5.render(experiments.table5.run(
+        n_per_range=max(4, args.frames_per_range // 2),
+        n_scenes=args.scenes))
+
+
+def _run_overhead(args) -> str:
+    return experiments.overhead.render(experiments.overhead.run())
+
+
+def _run_ablations(args) -> str:
+    parts = [
+        experiments.ablations.render_patch_size(
+            experiments.ablations.patch_size_sweep()),
+        experiments.ablations.render_apgd_vs_pgd(
+            experiments.ablations.apgd_vs_pgd()),
+        experiments.ablations.render_diffusion_steps(
+            experiments.ablations.diffusion_steps_sweep()),
+    ]
+    return "\n\n".join(parts)
+
+
+def _run_fig1(args) -> str:
+    paths = viz.save_dataset_examples(args.out)
+    return "Fig. 1 examples written:\n" + "\n".join(f"  {p}" for p in paths)
+
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "overhead": _run_overhead,
+    "ablations": _run_ablations,
+    "fig1": _run_fig1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures from 'Revisiting Adversarial "
+                    "Perception Attacks and Defense Methods on ADS'")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="which experiment to run")
+    parser.add_argument("--scenes", type=int, default=50,
+                        help="sign-scene test-set size")
+    parser.add_argument("--frames-per-range", type=int, default=12,
+                        help="driving frames per distance range")
+    parser.add_argument("--out", default="results",
+                        help="directory for rendered outputs")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        print("  all")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        output = EXPERIMENTS[name](args)
+        print(output)
+        print()
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""``repro.data`` — synthetic dataset substrates.
+
+Two generators replace the paper's (offline-unavailable) datasets:
+
+* :mod:`repro.data.signs` — labelled road scenes with stop signs, replacing
+  the Kaggle *Traffic Signs Detection* dataset.
+* :mod:`repro.data.driving` — pinhole-projected highway video with a lead
+  vehicle at known distance, replacing *Comma2k19*.
+
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from . import driving, signs, transforms, weather
+from .driving import (DrivingFrame, DrivingVideo, generate_training_set,
+                      generate_video, project_lead)
+from .signs import SignDataset, SignScene, render_scene
+
+__all__ = [
+    "signs", "driving", "transforms", "weather",
+    "SignDataset", "SignScene", "render_scene",
+    "DrivingFrame", "DrivingVideo", "generate_video",
+    "generate_training_set", "project_lead",
+]

@@ -1,0 +1,196 @@
+"""Procedural stand-in for the *Traffic Signs Detection* dataset.
+
+The paper evaluates YOLOv8 on stop-sign images from a public Kaggle dataset
+that is unavailable in this offline environment, so this module renders
+labelled road scenes instead: a ground plane and sky, zero or more stop signs
+(red octagon, white rim, white lettering band, grey pole), and decoy signs
+(yield triangle, speed-limit circle, warning diamond) that a single-class
+detector must learn to ignore.  Pose, scale, lighting, and clutter are
+randomized per scene.
+
+What matters for the reproduction is preserved: signs occupy a contiguous
+pixel region (so RP2-style masked perturbations make sense), boxes are tight
+(so IoU-based mAP@50 behaves like the paper's), and appearance varies enough
+that the detector generalizes rather than memorizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .transforms import clip01
+
+IMAGE_SIZE = 64
+
+STOP_RED = np.array([0.72, 0.08, 0.10], dtype=np.float32)
+RIM_WHITE = np.array([0.95, 0.95, 0.95], dtype=np.float32)
+POLE_GREY = np.array([0.45, 0.45, 0.47], dtype=np.float32)
+
+
+@dataclass
+class SignScene:
+    """One rendered scene: image (3,H,W in [0,1]) and stop-sign boxes."""
+
+    image: np.ndarray
+    boxes: List[Tuple[float, float, float, float]]  # (x1, y1, x2, y2) pixels
+    sign_masks: List[np.ndarray] = field(default_factory=list)  # bool (H,W)
+
+    @property
+    def has_sign(self) -> bool:
+        return len(self.boxes) > 0
+
+
+def _coordinate_grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    ys, xs = np.mgrid[0:size, 0:size]
+    return ys.astype(np.float32), xs.astype(np.float32)
+
+
+def _octagon_mask(ys: np.ndarray, xs: np.ndarray, cy: float, cx: float,
+                  radius: float, angle: float = 0.0) -> np.ndarray:
+    """Regular octagon: max(|u|, |v|, (|u|+|v|)/sqrt(2)) <= r."""
+    du, dv = ys - cy, xs - cx
+    if angle:
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        du, dv = cos_a * du - sin_a * dv, sin_a * du + cos_a * dv
+    metric = np.maximum(np.maximum(np.abs(du), np.abs(dv)),
+                        (np.abs(du) + np.abs(dv)) / np.sqrt(2.0))
+    return metric <= radius
+
+
+def _paint(image_hwc: np.ndarray, mask: np.ndarray, color: np.ndarray,
+           alpha: float = 1.0) -> None:
+    image_hwc[mask] = (1 - alpha) * image_hwc[mask] + alpha * color
+
+
+def _render_background(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Sky gradient over a ground plane, plus low-frequency clutter."""
+    image = np.zeros((size, size, 3), dtype=np.float32)
+    horizon = int(size * rng.uniform(0.45, 0.65))
+    sky_top = np.array([0.45, 0.62, 0.85]) + rng.normal(0, 0.04, 3)
+    sky_bot = np.array([0.75, 0.82, 0.92]) + rng.normal(0, 0.04, 3)
+    ground = np.array([0.38, 0.36, 0.33]) + rng.normal(0, 0.04, 3)
+    for row in range(horizon):
+        t = row / max(1, horizon - 1)
+        image[row] = (1 - t) * sky_top + t * sky_bot
+    for row in range(horizon, size):
+        t = (row - horizon) / max(1, size - horizon - 1)
+        image[row] = ground * (0.85 + 0.3 * t)
+    # Low-frequency clutter: distant buildings / foliage blobs.
+    n_blobs = rng.integers(1, 4)
+    ys, xs = _coordinate_grid(size)
+    for _ in range(n_blobs):
+        cy = rng.uniform(horizon * 0.6, horizon)
+        cx = rng.uniform(0, size)
+        r = rng.uniform(4, 12)
+        blob = ((ys - cy) ** 2 + (xs - cx) ** 2) <= r * r
+        color = rng.uniform(0.2, 0.5, 3).astype(np.float32)
+        _paint(image, blob, color, alpha=0.8)
+    return clip01(image)
+
+
+def _render_stop_sign(image_hwc: np.ndarray, cy: float, cx: float,
+                      radius: float, rng: np.random.Generator,
+                      brightness: float) -> Tuple[Tuple[float, float, float, float], np.ndarray]:
+    size = image_hwc.shape[0]
+    ys, xs = _coordinate_grid(size)
+    angle = rng.uniform(-0.15, 0.15)
+    outer = _octagon_mask(ys, xs, cy, cx, radius, angle)
+    inner = _octagon_mask(ys, xs, cy, cx, radius * 0.82, angle)
+    # Pole below the sign.
+    pole_width = max(1.0, radius * 0.18)
+    pole = ((np.abs(xs - cx) <= pole_width)
+            & (ys > cy + radius * 0.7) & (ys < cy + radius * 4.0))
+    _paint(image_hwc, pole, POLE_GREY * brightness)
+    _paint(image_hwc, outer, RIM_WHITE * brightness)
+    _paint(image_hwc, inner, STOP_RED * brightness)
+    # Stylized "STOP" lettering: a white band with dark letter gaps.
+    band = inner & (np.abs(ys - cy) <= radius * 0.18)
+    letters = band & (np.abs(((xs - cx) * 2.0 / max(radius, 1e-3)) % 0.8) > 0.25)
+    _paint(image_hwc, letters, RIM_WHITE * brightness)
+    y_idx, x_idx = np.nonzero(outer)
+    box = (float(x_idx.min()), float(y_idx.min()),
+           float(x_idx.max() + 1), float(y_idx.max() + 1))
+    return box, outer
+
+
+def _render_decoy(image_hwc: np.ndarray, rng: np.random.Generator,
+                  brightness: float) -> None:
+    """A non-stop sign the detector should not fire on."""
+    size = image_hwc.shape[0]
+    ys, xs = _coordinate_grid(size)
+    cy = rng.uniform(size * 0.2, size * 0.7)
+    cx = rng.uniform(size * 0.1, size * 0.9)
+    radius = rng.uniform(3.0, 7.0)
+    kind = rng.integers(0, 3)
+    if kind == 0:  # yield triangle (white w/ red rim, downward)
+        tri = ((ys - cy) >= -radius) & ((ys - cy) <= radius) \
+            & (np.abs(xs - cx) <= (radius - (ys - cy)) * 0.6)
+        _paint(image_hwc, tri, np.array([0.9, 0.85, 0.85]) * brightness)
+    elif kind == 1:  # speed-limit circle (white with dark number bar)
+        circle = ((ys - cy) ** 2 + (xs - cx) ** 2) <= radius ** 2
+        _paint(image_hwc, circle, np.array([0.92, 0.92, 0.9]) * brightness)
+        bar = circle & (np.abs(ys - cy) < radius * 0.25)
+        _paint(image_hwc, bar, np.array([0.15, 0.15, 0.2]) * brightness)
+    else:  # warning diamond (yellow)
+        diamond = (np.abs(ys - cy) + np.abs(xs - cx)) <= radius
+        _paint(image_hwc, diamond, np.array([0.85, 0.7, 0.1]) * brightness)
+    pole = ((np.abs(xs - cx) <= 1.0) & (ys > cy + radius * 0.7)
+            & (ys < cy + radius * 3.5))
+    _paint(image_hwc, pole, POLE_GREY * brightness)
+
+
+def render_scene(rng: np.random.Generator, size: int = IMAGE_SIZE,
+                 force_sign: Optional[bool] = None) -> SignScene:
+    """Render one scene.  ``force_sign`` pins the presence of a stop sign."""
+    image = _render_background(size, rng)
+    brightness = rng.uniform(0.75, 1.1)
+    has_sign = rng.random() < 0.8 if force_sign is None else force_sign
+    boxes: List[Tuple[float, float, float, float]] = []
+    masks: List[np.ndarray] = []
+    if rng.random() < 0.5:
+        _render_decoy(image, rng, brightness)
+    if has_sign:
+        n_signs = 1 if rng.random() < 0.85 else 2
+        for _ in range(n_signs):
+            radius = rng.uniform(7.0, 13.0)
+            cy = rng.uniform(size * 0.2, size * 0.6)
+            cx = rng.uniform(radius + 2, size - radius - 2)
+            box, mask = _render_stop_sign(image, cy, cx, radius, rng, brightness)
+            boxes.append(box)
+            masks.append(mask)
+    noise = rng.normal(0, 0.015, image.shape).astype(np.float32)
+    image = clip01(image + noise)
+    return SignScene(image=image.transpose(2, 0, 1).copy(), boxes=boxes,
+                     sign_masks=masks)
+
+
+class SignDataset:
+    """A reproducible collection of rendered sign scenes."""
+
+    def __init__(self, n_scenes: int, seed: int = 0, size: int = IMAGE_SIZE,
+                 sign_fraction: float = 0.8):
+        self.size = size
+        self.scenes: List[SignScene] = []
+        rng = np.random.default_rng(seed)
+        for i in range(n_scenes):
+            force = rng.random() < sign_fraction
+            self.scenes.append(render_scene(rng, size=size, force_sign=force))
+
+    def __len__(self) -> int:
+        return len(self.scenes)
+
+    def __getitem__(self, index: int) -> SignScene:
+        return self.scenes[index]
+
+    def images(self) -> np.ndarray:
+        """Stack all images into an (N,3,H,W) batch."""
+        return np.stack([scene.image for scene in self.scenes])
+
+    def subset(self, indices: Sequence[int]) -> "SignDataset":
+        out = object.__new__(SignDataset)
+        out.size = self.size
+        out.scenes = [self.scenes[i] for i in indices]
+        return out

@@ -1,0 +1,112 @@
+"""Image transforms shared by the datasets, defenses, and contrastive pipeline.
+
+All images in this project are ``float32`` CHW arrays in ``[0, 1]``.  These
+helpers are plain numpy (not differentiable) — they run on the data path, not
+inside the attacked computational graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def clip01(image: np.ndarray) -> np.ndarray:
+    """Clamp to the valid pixel range."""
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def to_chw(image_hwc: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(image_hwc.transpose(2, 0, 1)).astype(np.float32)
+
+
+def to_hwc(image_chw: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(image_chw.transpose(1, 2, 0)).astype(np.float32)
+
+
+def bilinear_resize(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resize of a CHW image (align_corners=False convention)."""
+    c, h, w = image.shape
+    if (h, w) == (out_h, out_w):
+        return image.astype(np.float32).copy()
+    ys = (np.arange(out_h) + 0.5) * h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * w / out_w - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)[None, :, None]
+    wx = (xs - x0).astype(np.float32)[None, None, :]
+    top = image[:, y0][:, :, x0] * (1 - wx) + image[:, y0][:, :, x1] * wx
+    bottom = image[:, y1][:, :, x0] * (1 - wx) + image[:, y1][:, :, x1] * wx
+    return (top * (1 - wy) + bottom * wy).astype(np.float32)
+
+
+def letterbox(image: np.ndarray, out_h: int, out_w: int,
+              fill: float = 0.5) -> Tuple[np.ndarray, float, Tuple[int, int]]:
+    """Resize preserving aspect ratio and pad to ``(out_h, out_w)``.
+
+    Returns the padded image, the scale factor, and the (top, left) offsets —
+    enough to map boxes between the two coordinate systems.
+    """
+    c, h, w = image.shape
+    scale = min(out_h / h, out_w / w)
+    new_h, new_w = int(round(h * scale)), int(round(w * scale))
+    resized = bilinear_resize(image, new_h, new_w)
+    canvas = np.full((c, out_h, out_w), fill, dtype=np.float32)
+    top = (out_h - new_h) // 2
+    left = (out_w - new_w) // 2
+    canvas[:, top:top + new_h, left:left + new_w] = resized
+    return canvas, scale, (top, left)
+
+
+def horizontal_flip(image: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(image[:, :, ::-1])
+
+
+def random_crop_resize(image: np.ndarray, rng: np.random.Generator,
+                       min_scale: float = 0.6) -> np.ndarray:
+    """Random resized crop back to the original size (SimCLR augmentation)."""
+    c, h, w = image.shape
+    scale = rng.uniform(min_scale, 1.0)
+    crop_h = max(2, int(h * scale))
+    crop_w = max(2, int(w * scale))
+    top = rng.integers(0, h - crop_h + 1)
+    left = rng.integers(0, w - crop_w + 1)
+    crop = image[:, top:top + crop_h, left:left + crop_w]
+    return bilinear_resize(crop, h, w)
+
+
+def color_jitter(image: np.ndarray, rng: np.random.Generator,
+                 brightness: float = 0.3, contrast: float = 0.3) -> np.ndarray:
+    """Random brightness/contrast jitter."""
+    out = image.copy()
+    out *= 1.0 + rng.uniform(-contrast, contrast)
+    out += rng.uniform(-brightness, brightness)
+    return clip01(out)
+
+
+def gaussian_blur3(image: np.ndarray) -> np.ndarray:
+    """Cheap 3x3 binomial blur used as a contrastive augmentation."""
+    kernel = np.array([1.0, 2.0, 1.0], dtype=np.float32) / 4.0
+    padded = np.pad(image, ((0, 0), (1, 1), (0, 0)), mode="edge")
+    out = (padded[:, :-2] * kernel[0] + padded[:, 1:-1] * kernel[1]
+           + padded[:, 2:] * kernel[2])
+    padded = np.pad(out, ((0, 0), (0, 0), (1, 1)), mode="edge")
+    out = (padded[:, :, :-2] * kernel[0] + padded[:, :, 1:-1] * kernel[1]
+           + padded[:, :, 2:] * kernel[2])
+    return out.astype(np.float32)
+
+
+def simclr_augment(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """The augmentation pipeline for contrastive-view generation."""
+    out = random_crop_resize(image, rng)
+    if rng.random() < 0.5:
+        out = horizontal_flip(out)
+    out = color_jitter(out, rng)
+    if rng.random() < 0.3:
+        out = gaussian_blur3(out)
+    return clip01(out)

@@ -1,0 +1,92 @@
+"""Weather and lighting degradations.
+
+§III-A motivates the Gaussian-noise attack with "environments with sensor
+uncertainties such as nighttime driving, fog, or rain".  This module renders
+those conditions so the robustness of the perception models (and the
+attack-under-weather interaction) can be measured directly, not just proxied
+by noise.
+
+All functions take and return CHW float images in [0, 1] and are
+deterministic given the caller's RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .transforms import clip01, gaussian_blur3
+
+FOG_COLOR = np.array([0.78, 0.80, 0.83], dtype=np.float32).reshape(3, 1, 1)
+
+
+def apply_fog(image: np.ndarray, intensity: float = 0.5,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Blend toward a fog color and soften detail.
+
+    ``intensity`` in [0, 1]: 0 = clear, 1 = whiteout.  Fog density grows
+    toward the top of the frame (distance) as in real scattering.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    c, h, w = image.shape
+    # Depth proxy: rows near the horizon are farther away -> denser fog.
+    row_factor = np.linspace(1.0, 0.45, h, dtype=np.float32).reshape(1, h, 1)
+    alpha = np.clip(intensity * row_factor, 0.0, 1.0)
+    fogged = (1.0 - alpha) * image + alpha * FOG_COLOR
+    if intensity > 0.3:
+        fogged = gaussian_blur3(fogged)
+    return clip01(fogged)
+
+
+def apply_rain(image: np.ndarray, intensity: float = 0.5,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Overlay semi-transparent rain streaks plus droplet blur."""
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    c, h, w = image.shape
+    out = image.copy()
+    n_streaks = int(intensity * h * w / 40)
+    for _ in range(n_streaks):
+        col = int(rng.integers(0, w))
+        row = int(rng.integers(0, max(1, h - 6)))
+        length = int(rng.integers(3, 7))
+        brightness = rng.uniform(0.55, 0.8)
+        out[:, row:row + length, col] = (
+            0.6 * out[:, row:row + length, col] + 0.4 * brightness)
+    if intensity > 0.4:
+        out = gaussian_blur3(out)
+    return clip01(out)
+
+
+def apply_night(image: np.ndarray, intensity: float = 0.5,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Darken, desaturate toward blue, and add sensor shot noise."""
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    darkening = 1.0 - 0.75 * intensity
+    out = image * darkening
+    # Night scenes skew blue (scotopic shift).
+    out[2] = np.minimum(out[2] * (1.0 + 0.3 * intensity), 1.0)
+    # Higher ISO -> shot noise proportional to intensity.
+    out = out + rng.normal(0, 0.03 * intensity, out.shape).astype(np.float32)
+    return clip01(out)
+
+
+WEATHER_KINDS = {
+    "fog": apply_fog,
+    "rain": apply_rain,
+    "night": apply_night,
+}
+
+
+def apply_weather(image: np.ndarray, kind: str, intensity: float = 0.5,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Dispatch by name: kind in {"fog", "rain", "night"}."""
+    if kind not in WEATHER_KINDS:
+        raise ValueError(f"unknown weather {kind!r}; "
+                         f"options: {sorted(WEATHER_KINDS)}")
+    return WEATHER_KINDS[kind](image, intensity=intensity, rng=rng)

@@ -1,0 +1,37 @@
+"""``repro.defenses`` — the four defense families of §IV.
+
+* Image processing (§IV-A): :class:`MedianBlur`, :class:`BitDepthReduction`,
+  :class:`Randomization` — input transforms.
+* Adversarial training (§IV-B): dataset generation + retraining in
+  :mod:`repro.defenses.adversarial_training`.
+* Diffusion (§IV-C): :class:`DenoisingDiffusionModel` prior +
+  :class:`DiffPIRDefense` restoration.
+* Contrastive learning (§IV-D): :func:`contrastive_train_detector`.
+"""
+
+from .adversarial_training import (adversarial_train_detector,
+                                   adversarial_train_regressor,
+                                   distance_aware_adversarial_train_regressor,
+                                   generate_adversarial_frames,
+                                   generate_adversarial_signs,
+                                   mixed_adversarial_set,
+                                   online_adversarial_train_detector)
+from .composed import ComposedDefense, RangeAdaptiveDefense
+from .base import IdentityDefense, InputDefense
+from .contrastive import contrastive_pretrain, contrastive_train_detector
+from .diffusion import (DenoisingDiffusionModel, DiffPIRDefense,
+                        NoisePredictor, cosine_alpha_bar)
+from .image_processing import BitDepthReduction, MedianBlur, Randomization
+
+__all__ = [
+    "InputDefense", "IdentityDefense",
+    "MedianBlur", "BitDepthReduction", "Randomization",
+    "generate_adversarial_signs", "generate_adversarial_frames",
+    "mixed_adversarial_set", "adversarial_train_detector",
+    "adversarial_train_regressor", "online_adversarial_train_detector",
+    "distance_aware_adversarial_train_regressor",
+    "ComposedDefense", "RangeAdaptiveDefense",
+    "contrastive_pretrain", "contrastive_train_detector",
+    "DenoisingDiffusionModel", "DiffPIRDefense", "NoisePredictor",
+    "cosine_alpha_bar",
+]

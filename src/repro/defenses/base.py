@@ -1,0 +1,43 @@
+"""Defense interface.
+
+Two families exist in the paper:
+
+* **Input defenses** (image processing, diffusion): transform the image
+  before it reaches the model.  They implement :class:`InputDefense` with a
+  single ``purify(images) -> images`` method.
+* **Training defenses** (adversarial training, contrastive learning): produce
+  a *retrained model* rather than transforming inputs; they live in their own
+  modules and return model instances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class InputDefense(ABC):
+    """A preprocessing defense applied to image batches (N,C,H,W)."""
+
+    #: human-readable name used in reports
+    name: str = "defense"
+
+    @abstractmethod
+    def purify(self, images: np.ndarray) -> np.ndarray:
+        """Return defended images, same shape, float32 in [0, 1]."""
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return self.purify(images)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class IdentityDefense(InputDefense):
+    """No-op defense — the "None" rows of Tables II and V."""
+
+    name = "None"
+
+    def purify(self, images: np.ndarray) -> np.ndarray:
+        return images.astype(np.float32)

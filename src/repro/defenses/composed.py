@@ -1,0 +1,69 @@
+"""Composed input defenses — the Discussion's "combining complementary
+preprocessing techniques" direction.
+
+The paper's §VI observes that no single preprocessing method is robust
+across attacks and task conditions and suggests combining them.
+:class:`ComposedDefense` chains input defenses; :class:`RangeAdaptiveDefense`
+implements the task-aware variant the regression results motivate: use the
+aggressive geometric defense (randomization) only when the lead is close
+(where it helps most), and a gentle one at long range (where randomization
+destroys the few pixels of signal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .base import InputDefense
+
+
+class ComposedDefense(InputDefense):
+    """Apply defenses in sequence: ``purify = d_n ∘ ... ∘ d_1``."""
+
+    def __init__(self, defenses: Sequence[InputDefense]):
+        if not defenses:
+            raise ValueError("need at least one defense")
+        self.defenses = list(defenses)
+        self.name = " + ".join(d.name for d in self.defenses)
+
+    def purify(self, images: np.ndarray) -> np.ndarray:
+        out = images
+        for defense in self.defenses:
+            out = defense.purify(out)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(d) for d in self.defenses)
+        return f"ComposedDefense([{inner}])"
+
+
+class RangeAdaptiveDefense(InputDefense):
+    """Pick a defense per frame based on a cheap range estimate.
+
+    ``range_probe`` maps one frame (C,H,W) to an approximate lead distance
+    (typically the undefended model's own prediction — a self-estimate is
+    fine because the switchover threshold is coarse).  Frames probed closer
+    than ``threshold_m`` go through ``near_defense``; the rest through
+    ``far_defense``.
+    """
+
+    name = "Range-Adaptive"
+
+    def __init__(self, near_defense: InputDefense, far_defense: InputDefense,
+                 range_probe: Callable[[np.ndarray], float],
+                 threshold_m: float = 40.0):
+        self.near_defense = near_defense
+        self.far_defense = far_defense
+        self.range_probe = range_probe
+        self.threshold_m = float(threshold_m)
+
+    def purify(self, images: np.ndarray) -> np.ndarray:
+        out = np.empty_like(images, dtype=np.float32)
+        for i, frame in enumerate(images):
+            probe = self.range_probe(frame)
+            defense = (self.near_defense if probe < self.threshold_m
+                       else self.far_defense)
+            out[i] = defense.purify(frame[None])[0]
+        return out

@@ -1,0 +1,81 @@
+"""Contrastive-learning defense — §IV-D, eq. (10).
+
+SimCLR-style self-supervised pretraining of the detector backbone: two
+augmented views per image, InfoNCE with a margin and a projection head with
+batch norm and dropout (§V-C.3), followed by supervised fine-tuning of the
+detection task.  The hoped-for robustness comes from feature invariance —
+and, as the paper finds (Table IV), the gains are real but modest, because
+invariance to *benign* augmentations does not target adversarial directions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.transforms import simclr_augment
+from ..models.detector import TinyDetector
+from ..models.projection import ProjectionHead
+from ..models.training import train_detector
+from ..nn import Adam, Tensor, losses
+from ..nn import functional as F
+
+
+def contrastive_pretrain(detector: TinyDetector, images: np.ndarray,
+                         epochs: int = 15, batch_size: int = 16,
+                         temperature: float = 0.2, margin: float = 0.2,
+                         lr: float = 3e-3, seed: int = 0) -> List[float]:
+    """Pretrain ``detector.backbone`` with InfoNCE; returns loss history.
+
+    The projection head is created here and thrown away afterwards, as in
+    SimCLR.
+    """
+    rng = np.random.default_rng(seed)
+    head = ProjectionHead(in_dim=detector.backbone.out_channels,
+                          rng=np.random.default_rng(seed + 1))
+    params = list(detector.backbone.parameters()) + list(head.parameters())
+    optimizer = Adam(params, lr=lr)
+    history: List[float] = []
+    detector.train()
+    head.train()
+    for _ in range(epochs):
+        order = rng.permutation(len(images))
+        epoch_losses = []
+        for start in range(0, len(images), batch_size):
+            batch = order[start:start + batch_size]
+            if len(batch) < 4:
+                continue  # InfoNCE needs enough in-batch negatives
+            view_a = np.stack([simclr_augment(images[i], rng) for i in batch])
+            view_b = np.stack([simclr_augment(images[i], rng) for i in batch])
+            optimizer.zero_grad()
+            za = head(detector.backbone.embed(Tensor(view_a)))
+            zb = head(detector.backbone.embed(Tensor(view_b)))
+            loss = losses.info_nce(za, zb, temperature=temperature,
+                                   margin=margin)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.append(float(np.mean(epoch_losses)))
+    detector.eval()
+    return history
+
+
+def contrastive_train_detector(pretrain_images: np.ndarray,
+                               finetune_images: np.ndarray,
+                               finetune_targets: Sequence[Sequence],
+                               pretrain_epochs: int = 15,
+                               finetune_epochs: int = 25,
+                               seed: int = 0) -> TinyDetector:
+    """Full §V-C.3 pipeline: contrastive pretraining then task fine-tuning.
+
+    ``pretrain_images`` is typically the union of clean and adversarial
+    examples (the paper uses "the same training and test sets as adversarial
+    training"); fine-tuning uses the labelled detection set.
+    """
+    model = TinyDetector(rng=np.random.default_rng(seed))
+    contrastive_pretrain(model, pretrain_images, epochs=pretrain_epochs,
+                         seed=seed)
+    train_detector(model, finetune_images, list(finetune_targets),
+                   epochs=finetune_epochs, seed=seed, lr=1e-3)
+    return model

@@ -1,0 +1,22 @@
+"""``repro.eval`` — metrics, the attack/defense grid harness, and reports."""
+
+from . import analysis, reporting
+from .detection_metrics import (DetectionMetrics, average_precision,
+                                evaluate_detections, match_detections)
+from .harness import (DistanceEvaluation, attack_driving_frames,
+                      attack_sign_dataset, evaluate_detection,
+                      evaluate_distance, evaluate_distance_on_video,
+                      make_balanced_eval_frames)
+from .regression_metrics import (RANGES, RangeErrors, bin_index,
+                                 mean_absolute_error, range_binned_errors)
+
+__all__ = [
+    "DetectionMetrics", "evaluate_detections", "match_detections",
+    "average_precision",
+    "RANGES", "RangeErrors", "range_binned_errors", "bin_index",
+    "mean_absolute_error",
+    "evaluate_detection", "evaluate_distance", "evaluate_distance_on_video",
+    "attack_sign_dataset",
+    "attack_driving_frames", "make_balanced_eval_frames",
+    "DistanceEvaluation", "reporting", "analysis",
+]

@@ -1,0 +1,81 @@
+"""Attack analysis utilities: success rates and perturbation budgets.
+
+The paper reports aggregate errors; a released toolkit also needs the
+per-example view — did an individual attack *succeed* (cross a safety
+threshold), and how much perturbation did it spend?  These helpers quantify
+both and back the query-efficiency claims of §III-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..models.detector import Detection, box_iou
+
+
+@dataclass
+class PerturbationStats:
+    """Norm budget actually spent by an attack, per batch."""
+
+    linf: float      # max |delta|
+    l2_mean: float   # mean per-image L2
+    l0_fraction: float  # fraction of changed pixels
+
+
+def perturbation_stats(clean: np.ndarray, adversarial: np.ndarray,
+                       tol: float = 1e-6) -> PerturbationStats:
+    delta = adversarial.astype(np.float64) - clean.astype(np.float64)
+    flat = delta.reshape(len(delta), -1)
+    return PerturbationStats(
+        linf=float(np.abs(delta).max()),
+        l2_mean=float(np.linalg.norm(flat, axis=1).mean()),
+        l0_fraction=float((np.abs(delta) > tol).mean()),
+    )
+
+
+def regression_attack_success_rate(clean_predictions: Sequence[float],
+                                   attacked_predictions: Sequence[float],
+                                   threshold_m: float = 5.0) -> float:
+    """Fraction of frames whose prediction moved more than ``threshold_m``.
+
+    A 5 m spoof is roughly one car length — enough to matter to an ACC gap
+    policy, hence the default.
+    """
+    clean = np.asarray(clean_predictions, dtype=np.float64)
+    attacked = np.asarray(attacked_predictions, dtype=np.float64)
+    if clean.shape != attacked.shape:
+        raise ValueError("prediction arrays must align")
+    return float((np.abs(attacked - clean) > threshold_m).mean())
+
+
+def detection_hiding_success_rate(
+        clean_detections: Sequence[Sequence[Detection]],
+        attacked_detections: Sequence[Sequence[Detection]],
+        ground_truth: Sequence[Sequence], iou_threshold: float = 0.5
+) -> float:
+    """Fraction of ground-truth signs found clean but *hidden* under attack."""
+    hidden = 0
+    found_clean = 0
+    for clean, attacked, boxes in zip(clean_detections, attacked_detections,
+                                      ground_truth):
+        for gt in boxes:
+            clean_hit = any(box_iou(d.box, gt) >= iou_threshold
+                            for d in clean)
+            if not clean_hit:
+                continue
+            found_clean += 1
+            attacked_hit = any(box_iou(d.box, gt) >= iou_threshold
+                               for d in attacked)
+            if not attacked_hit:
+                hidden += 1
+    return hidden / found_clean if found_clean else 0.0
+
+
+def queries_per_success(simba_result, threshold: int = 1) -> Optional[float]:
+    """Average queries per accepted SimBA step (query efficiency, §III-D)."""
+    if simba_result.accepted_steps < threshold:
+        return None
+    return simba_result.queries / simba_result.accepted_steps

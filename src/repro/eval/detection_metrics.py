@@ -1,0 +1,99 @@
+"""Detection metrics: IoU-matched precision, recall, and AP@50.
+
+Implements the standard single-class evaluation protocol the paper uses for
+Fig. 2 and the "Stop Sign Detection (%)" columns of Tables II–V: detections
+are matched greedily to ground truth at IoU >= 0.5, AP is the area under the
+interpolated precision–recall curve, and precision/recall are reported at the
+detector's operating confidence threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..models.detector import Detection, box_iou
+
+Box = Tuple[float, float, float, float]
+
+
+@dataclass
+class DetectionMetrics:
+    """The triple the paper reports (all in [0, 100] percent)."""
+
+    map50: float
+    precision: float
+    recall: float
+
+    def as_row(self) -> Tuple[float, float, float]:
+        return (self.map50, self.precision, self.recall)
+
+
+def match_detections(detections: Sequence[Detection],
+                     ground_truth: Sequence[Box],
+                     iou_threshold: float = 0.5) -> List[bool]:
+    """Greedy matching (score order); returns a TP/FP flag per detection."""
+    matched = [False] * len(ground_truth)
+    flags: List[bool] = []
+    for det in sorted(detections, key=lambda d: d.score, reverse=True):
+        best_iou, best_idx = 0.0, -1
+        for i, gt in enumerate(ground_truth):
+            if matched[i]:
+                continue
+            iou = box_iou(det.box, gt)
+            if iou > best_iou:
+                best_iou, best_idx = iou, i
+        if best_iou >= iou_threshold and best_idx >= 0:
+            matched[best_idx] = True
+            flags.append(True)
+        else:
+            flags.append(False)
+    return flags
+
+
+def average_precision(scores: np.ndarray, tp_flags: np.ndarray,
+                      n_ground_truth: int) -> float:
+    """AP as area under the monotone-interpolated PR curve (VOC-continuous)."""
+    if n_ground_truth == 0:
+        return 0.0 if len(scores) else 100.0
+    if len(scores) == 0:
+        return 0.0
+    order = np.argsort(-scores)
+    tp = tp_flags[order].astype(np.float64)
+    fp = 1.0 - tp
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(fp)
+    recall = cum_tp / n_ground_truth
+    precision = cum_tp / np.maximum(cum_tp + cum_fp, 1e-9)
+    # Append sentinels and make precision monotonically decreasing.
+    recall = np.concatenate([[0.0], recall, [recall[-1]]])
+    precision = np.concatenate([[1.0], precision, [0.0]])
+    for i in range(len(precision) - 2, -1, -1):
+        precision[i] = max(precision[i], precision[i + 1])
+    return float(np.sum((recall[1:] - recall[:-1]) * precision[1:]) * 100.0)
+
+
+def evaluate_detections(per_image_detections: Sequence[Sequence[Detection]],
+                        per_image_ground_truth: Sequence[Sequence[Box]],
+                        iou_threshold: float = 0.5) -> DetectionMetrics:
+    """Compute mAP@50 / precision / recall over a dataset."""
+    all_scores: List[float] = []
+    all_flags: List[bool] = []
+    n_gt = 0
+    n_tp_at_threshold = 0
+    n_det = 0
+    for detections, ground_truth in zip(per_image_detections,
+                                        per_image_ground_truth):
+        flags = match_detections(detections, ground_truth, iou_threshold)
+        ordered = sorted(detections, key=lambda d: d.score, reverse=True)
+        all_scores.extend(d.score for d in ordered)
+        all_flags.extend(flags)
+        n_gt += len(ground_truth)
+        n_det += len(detections)
+        n_tp_at_threshold += sum(flags)
+    ap = average_precision(np.array(all_scores), np.array(all_flags), n_gt)
+    precision = 100.0 * n_tp_at_threshold / n_det if n_det else 100.0
+    recall = 100.0 * n_tp_at_threshold / n_gt if n_gt else 100.0
+    return DetectionMetrics(map50=ap, precision=precision, recall=recall)

@@ -1,0 +1,68 @@
+"""Regression metrics: range-binned signed average prediction error.
+
+Table I (and the "Avg. Error in Different Range" columns of Tables II, III,
+and V) report, per distance bin, the average of ``prediction_under_attack -
+prediction_on_clean_frame``.  The sign matters: the paper's defenses
+sometimes *overshoot* (negative values at long range after randomization or
+diffusion), and we preserve that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# The paper's four evaluation ranges, in metres.
+RANGES: Tuple[Tuple[float, float], ...] = ((0, 20), (20, 40), (40, 60), (60, 80))
+
+
+@dataclass
+class RangeErrors:
+    """Signed mean error per distance bin (metres)."""
+
+    errors: Dict[Tuple[float, float], float]
+    counts: Dict[Tuple[float, float], int]
+
+    def as_row(self) -> List[float]:
+        return [self.errors.get(r, float("nan")) for r in RANGES]
+
+    def __getitem__(self, bin_range: Tuple[float, float]) -> float:
+        return self.errors[bin_range]
+
+
+def bin_index(distance: float) -> Optional[Tuple[float, float]]:
+    for low, high in RANGES:
+        if low <= distance < high or (high == RANGES[-1][1] and distance == high):
+            return (low, high)
+    return None
+
+
+def range_binned_errors(true_distances: Sequence[float],
+                        clean_predictions: Sequence[float],
+                        attacked_predictions: Sequence[float]) -> RangeErrors:
+    """Signed mean (attacked - clean) prediction difference per true-distance bin.
+
+    Binning is by *ground-truth* distance (the independent variable the paper
+    sweeps); the error is the attack-induced change in the model's output,
+    which isolates the attack effect from the model's clean error.
+    """
+    sums: Dict[Tuple[float, float], float] = {}
+    counts: Dict[Tuple[float, float], int] = {}
+    for truth, clean, attacked in zip(true_distances, clean_predictions,
+                                      attacked_predictions):
+        bin_range = bin_index(float(truth))
+        if bin_range is None:
+            continue
+        sums[bin_range] = sums.get(bin_range, 0.0) + (attacked - clean)
+        counts[bin_range] = counts.get(bin_range, 0) + 1
+    errors = {r: sums[r] / counts[r] for r in sums}
+    return RangeErrors(errors=errors, counts=counts)
+
+
+def mean_absolute_error(predictions: Sequence[float],
+                        targets: Sequence[float]) -> float:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    return float(np.abs(predictions - targets).mean())

@@ -1,0 +1,79 @@
+"""ASCII table rendering in the layouts of the paper's Tables I–V."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .detection_metrics import DetectionMetrics
+from .regression_metrics import RANGES, RangeErrors
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Monospace table with column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def range_headers() -> List[str]:
+    return [f"[{int(low)}, {int(high)}]" for low, high in RANGES]
+
+
+def format_range_errors(errors: RangeErrors) -> List[str]:
+    return [f"{value:+.2f}" if value == value else "-"
+            for value in errors.as_row()]
+
+
+def format_detection(metrics: DetectionMetrics) -> List[str]:
+    return [f"{metrics.map50:.2f}", f"{metrics.precision:.2f}",
+            f"{metrics.recall:.2f}"]
+
+
+def table1(rows: Dict[str, RangeErrors]) -> str:
+    """Table I: avg. errors at different ranges under attack."""
+    body = [[name] + format_range_errors(err) for name, err in rows.items()]
+    return format_table(["Attack Method"] + range_headers(), body,
+                        title="TABLE I: Avg. errors at different ranges (m) under attack")
+
+
+def fig2(rows: Dict[str, DetectionMetrics]) -> str:
+    """Fig. 2 data: stop-sign detection with/without attacks."""
+    body = [[name] + format_detection(m) for name, m in rows.items()]
+    return format_table(["Condition", "mAP50", "Precision", "Recall"], body,
+                        title="Fig. 2: Stop sign detection performance (%)")
+
+
+def combined_table(rows: Sequence[Tuple[str, str, Optional[RangeErrors],
+                                        Optional[DetectionMetrics]]],
+                   title: str) -> str:
+    """Tables II/III/V layout: regression ranges + detection metrics."""
+    body = []
+    for group, label, errors, detection in rows:
+        range_cells = (format_range_errors(errors) if errors is not None
+                       else ["-"] * len(RANGES))
+        det_cells = (format_detection(detection) if detection is not None
+                     else ["-"] * 3)
+        body.append([group, label] + range_cells + det_cells)
+    headers = (["Attack/Adv. Example", "Method"] + range_headers()
+               + ["mAP50", "Prec.", "Recall"])
+    return format_table(headers, body, title=title)
+
+
+def table4(rows: Sequence[Tuple[str, str, DetectionMetrics]]) -> str:
+    """Table IV: contrastive learning (detection only)."""
+    body = [[example, attack] + format_detection(m)
+            for example, attack, m in rows]
+    return format_table(
+        ["Adv. Example", "Attack Method", "mAP50", "Precision", "Recall"],
+        body, title="TABLE IV: Performance after contrastive learning")

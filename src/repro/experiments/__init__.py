@@ -1,0 +1,13 @@
+"""``repro.experiments`` — one runner per table/figure of the paper.
+
+Each module computes its experiment end to end (generating adversarial
+examples, retraining defense models where needed — everything cached via the
+model zoo) and returns structured results plus a formatted table matching
+the paper's layout.  The ``benchmarks/`` directory wraps these runners in
+pytest-benchmark targets; EXPERIMENTS.md records their output.
+"""
+
+from . import ablations, fig2, overhead, table1, table2, table3, table4, table5
+
+__all__ = ["table1", "fig2", "table2", "table3", "table4", "table5",
+           "overhead", "ablations"]

@@ -1,0 +1,31 @@
+"""Fig. 2 — stop-sign detection performance with and without attacks."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..configs import DETECTION_ATTACKS, make_detection_attack
+from ..eval.detection_metrics import DetectionMetrics
+from ..eval.harness import evaluate_detection
+from ..eval.reporting import fig2 as render_fig2
+from ..models.zoo import get_detector, get_sign_testset
+
+
+def run(n_scenes: int = 80, seed: int = 999,
+        include_simba: bool = True) -> Dict[str, DetectionMetrics]:
+    """Compute the Fig. 2 series; returns {condition: metrics}."""
+    detector = get_detector()
+    testset = get_sign_testset(n_scenes=n_scenes, seed=seed)
+    rows: Dict[str, DetectionMetrics] = {
+        "No Attack": evaluate_detection(detector, testset),
+    }
+    for name in DETECTION_ATTACKS:
+        if name == "SimBA" and not include_simba:
+            continue
+        rows[name] = evaluate_detection(detector, testset,
+                                        attack=make_detection_attack(name))
+    return rows
+
+
+def render(rows: Dict[str, DetectionMetrics]) -> str:
+    return render_fig2(rows)

@@ -1,0 +1,33 @@
+"""Table I — average distance-prediction error per range, under attack.
+
+Paper protocol (§V-B.1): adversarial patches in the lead-vehicle region of
+each frame; report the mean change in predicted distance (attacked vs clean)
+binned by the true range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..configs import REGRESSION_ATTACKS, make_regression_attack
+from ..eval.harness import evaluate_distance, make_balanced_eval_frames
+from ..eval.regression_metrics import RangeErrors
+from ..eval.reporting import table1 as render_table1
+from ..models.zoo import get_regressor
+
+
+def run(n_per_range: int = 20, seed: int = 123) -> Dict[str, RangeErrors]:
+    """Compute the Table I grid; returns {attack name: range errors}."""
+    regressor = get_regressor()
+    images, distances, boxes = make_balanced_eval_frames(n_per_range, seed)
+    rows: Dict[str, RangeErrors] = {}
+    for name in REGRESSION_ATTACKS:
+        attack = make_regression_attack(name)
+        result = evaluate_distance(regressor, images, distances, boxes,
+                                   attack=attack)
+        rows[name] = result.range_errors
+    return rows
+
+
+def render(rows: Dict[str, RangeErrors]) -> str:
+    return render_table1(rows)

@@ -1,0 +1,89 @@
+"""Table IV — contrastive learning (detection only).
+
+For each adversarial-example source (Gaussian, FGSM, Auto-PGD, RP2, SimBA):
+contrastively pretrain the backbone on clean + that attack's adversarial
+examples (the paper: "the training and test sets are the same as those for
+adversarial training"), fine-tune detection, then evaluate on clean data and
+on every *other* attack's adversarial test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..configs import make_detection_attack
+from ..defenses.adversarial_training import generate_adversarial_signs
+from ..defenses.contrastive import contrastive_pretrain
+from ..eval.detection_metrics import DetectionMetrics
+from ..eval.harness import attack_sign_dataset, evaluate_detection
+from ..eval.reporting import table4 as render_table4
+from ..models import TinyDetector
+from ..models.training import train_detector
+from ..models.zoo import (cached_model, get_detector, get_sign_dataset,
+                          get_sign_testset)
+
+SOURCES = ("Gaussian Noise", "FGSM", "Auto-PGD", "RP2", "SimBA")
+TRAIN_SCENES = 400
+PRETRAIN_EPOCHS = 10
+FINETUNE_EPOCHS = 35
+
+
+@dataclass
+class Table4Row:
+    pretrained_on: str
+    attacked_by: str
+    detection: DetectionMetrics
+
+
+def _contrastive_detector(source: str, adv_images: np.ndarray,
+                          clean_images: np.ndarray,
+                          clean_targets) -> TinyDetector:
+    def train(model):
+        pretrain = np.concatenate([clean_images, adv_images])
+        contrastive_pretrain(model, pretrain, epochs=PRETRAIN_EPOCHS, seed=0)
+        train_detector(model, clean_images, list(clean_targets),
+                       epochs=FINETUNE_EPOCHS, seed=0, lr=1e-3)
+
+    return cached_model(
+        "table4-contrastive", {"source": source, "scenes": TRAIN_SCENES,
+                               "pre": PRETRAIN_EPOCHS,
+                               "fine": FINETUNE_EPOCHS, "v": 2},
+        lambda: TinyDetector(rng=np.random.default_rng(0)), train)
+
+
+def run(n_test_scenes: int = 50) -> List[Table4Row]:
+    base = get_detector()
+    train_set = get_sign_dataset(TRAIN_SCENES, seed=77)
+    train_images = train_set.images()
+    train_targets = [s.boxes for s in train_set.scenes]
+
+    testset = get_sign_testset(n_scenes=n_test_scenes, seed=999)
+    test_adv: Dict[str, np.ndarray] = {
+        name: attack_sign_dataset(base, testset, make_detection_attack(name))
+        for name in SOURCES
+    }
+
+    rows: List[Table4Row] = []
+    for source in SOURCES:
+        adv_train = generate_adversarial_signs(
+            base, train_images, train_targets, make_detection_attack(source))
+        model = _contrastive_detector(source, adv_train, train_images,
+                                      train_targets)
+        rows.append(Table4Row(source, "Clean",
+                              evaluate_detection(model, testset)))
+        for attacked_by in SOURCES:
+            if attacked_by == source:
+                continue
+            rows.append(Table4Row(
+                source, attacked_by,
+                evaluate_detection(model, testset,
+                                   adversarial_images=test_adv[attacked_by])))
+    return rows
+
+
+def render(rows: List[Table4Row]) -> str:
+    return render_table4(
+        [(r.pretrained_on, r.attacked_by, r.detection) for r in rows])

@@ -1,0 +1,21 @@
+"""``repro.models`` — the two perception models under attack.
+
+* :class:`TinyDetector` — YOLOv8 stand-in (single-class stop-sign detection).
+* :class:`DistanceRegressor` — Supercombo stand-in (lead-distance regression).
+
+Plus the shared :class:`Backbone`, the contrastive :class:`ProjectionHead`,
+training loops, and the cached model zoo.
+"""
+
+from .backbone import Backbone
+from .detector import Detection, TinyDetector, box_iou, nms
+from .distance import DistanceRegressor
+from .projection import ProjectionHead
+from .training import train_detector, train_regressor
+from . import zoo
+
+__all__ = [
+    "Backbone", "TinyDetector", "Detection", "box_iou", "nms",
+    "DistanceRegressor", "ProjectionHead",
+    "train_detector", "train_regressor", "zoo",
+]

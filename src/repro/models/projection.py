@@ -1,0 +1,33 @@
+"""Projection head ``g_phi`` for the contrastive-learning defense.
+
+The paper (§V-C.3) describes "a projection head with batch normalization and
+dropout"; this is that MLP.  It maps backbone embeddings to the space where
+the InfoNCE loss of eq. (10) is computed and is discarded after pretraining,
+exactly as in SimCLR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import BatchNorm1d, Dropout, Linear, Module, ReLU, Tensor
+
+
+class ProjectionHead(Module):
+    """embedding (N, in_dim) -> projection (N, out_dim)."""
+
+    def __init__(self, in_dim: int = 64, hidden_dim: int = 64,
+                 out_dim: int = 32, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(in_dim, hidden_dim, rng=rng)
+        self.bn = BatchNorm1d(hidden_dim)
+        self.act = ReLU()
+        self.drop = Dropout(dropout)
+        self.fc2 = Linear(hidden_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.drop(self.act(self.bn(self.fc1(x)))))

@@ -1,0 +1,153 @@
+"""Model zoo: train-once-cache-forever accessors.
+
+Tests, examples, and every benchmark share the same pretrained weights.  The
+first call trains a model and caches its state dict under ``.cache/`` keyed
+by a configuration fingerprint; later calls load in milliseconds.  Set the
+``REPRO_CACHE_DIR`` environment variable to relocate the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.driving import generate_training_set
+from ..data.signs import SignDataset
+from ..nn import serialize
+from .detector import TinyDetector
+from .distance import DistanceRegressor
+from .training import train_detector, train_regressor
+
+# Default training configuration — small enough for CPU, large enough that
+# the models are genuinely good on clean data (the paper's clean baselines
+# are near-saturated: mAP50 99.5%, distance error < 1 m).
+DETECTOR_TRAIN_SCENES = 1000
+DETECTOR_EPOCHS = 50
+REGRESSOR_TRAIN_FRAMES = 1500
+REGRESSOR_EPOCHS = 40
+
+
+def cache_dir() -> str:
+    path = os.environ.get("REPRO_CACHE_DIR")
+    if path is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        path = os.path.join(root, ".cache")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _fingerprint(config: dict) -> str:
+    blob = json.dumps(config, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _cache_path(name: str, config: dict) -> str:
+    return os.path.join(cache_dir(), f"{name}-{_fingerprint(config)}.npz")
+
+
+def get_sign_dataset(n_scenes: int = DETECTOR_TRAIN_SCENES, seed: int = 0
+                     ) -> SignDataset:
+    return SignDataset(n_scenes=n_scenes, seed=seed)
+
+
+def get_sign_testset(n_scenes: int = 150, seed: int = 999) -> SignDataset:
+    return SignDataset(n_scenes=n_scenes, seed=seed)
+
+
+def get_driving_data(n_frames: int = REGRESSOR_TRAIN_FRAMES, seed: int = 0
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    return generate_training_set(n_frames, seed=seed)
+
+
+def get_detector(seed: int = 0, n_scenes: int = DETECTOR_TRAIN_SCENES,
+                 epochs: int = DETECTOR_EPOCHS, force_retrain: bool = False
+                 ) -> TinyDetector:
+    """Pretrained stop-sign detector (cached)."""
+    config = {"seed": seed, "scenes": n_scenes, "epochs": epochs, "v": 6}
+    path = _cache_path("detector", config)
+    model = TinyDetector(rng=np.random.default_rng(seed))
+    if os.path.exists(path) and not force_retrain:
+        serialize.load_module(path, model)
+        model.eval()
+        return model
+    dataset = get_sign_dataset(n_scenes, seed=seed)
+    train_detector(model, dataset.images(),
+                   [scene.boxes for scene in dataset.scenes],
+                   epochs=epochs, seed=seed)
+    serialize.save_module(path, model)
+    model.eval()
+    return model
+
+
+def get_regressor(seed: int = 0, n_frames: int = REGRESSOR_TRAIN_FRAMES,
+                  epochs: int = REGRESSOR_EPOCHS, force_retrain: bool = False
+                  ) -> DistanceRegressor:
+    """Pretrained lead-distance regressor (cached)."""
+    config = {"seed": seed, "frames": n_frames, "epochs": epochs, "v": 6}
+    path = _cache_path("regressor", config)
+    model = DistanceRegressor(rng=np.random.default_rng(seed))
+    if os.path.exists(path) and not force_retrain:
+        serialize.load_module(path, model)
+        model.eval()
+        return model
+    images, distances = get_driving_data(n_frames, seed=seed)
+    train_regressor(model, images, distances, epochs=epochs, seed=seed)
+    serialize.save_module(path, model)
+    model.eval()
+    return model
+
+
+DIFFUSION_EPOCHS = 15
+DIFFUSION_IMAGES = 400
+
+
+def get_diffusion(domain: str, seed: int = 0, epochs: int = DIFFUSION_EPOCHS,
+                  n_images: int = DIFFUSION_IMAGES):
+    """Pretrained DDPM prior for ``domain`` in {"signs", "driving"} (cached).
+
+    The prior is trained on *clean* domain images only — the DiffPIR defense
+    never sees adversarial examples at training time.
+    """
+    from ..defenses.diffusion import DenoisingDiffusionModel
+
+    if domain not in ("signs", "driving"):
+        raise ValueError("domain must be 'signs' or 'driving'")
+    config = {"domain": domain, "seed": seed, "epochs": epochs,
+              "images": n_images, "v": 1}
+    path = _cache_path("diffusion", config)
+    model = DenoisingDiffusionModel(seed=seed)
+    if os.path.exists(path):
+        model.load_state_dict(serialize.load_state(path))
+        model.network.eval()
+        return model
+    if domain == "signs":
+        images = SignDataset(n_images, seed=seed + 50).images()
+    else:
+        images, _ = generate_training_set(n_images, seed=seed + 50)
+    model.train(images, epochs=epochs)
+    serialize.save_state(path, model.state_dict())
+    return model
+
+
+def cached_model(name: str, config: dict, build, train) -> object:
+    """Generic cache wrapper for defense-retrained model variants.
+
+    ``build()`` constructs the model; ``train(model)`` trains it in place.
+    Used by adversarial training / contrastive learning, which produce many
+    retrained variants (one per adversarial-example source).
+    """
+    path = _cache_path(name, config)
+    model = build()
+    if os.path.exists(path):
+        serialize.load_module(path, model)
+        model.eval()
+        return model
+    train(model)
+    serialize.save_module(path, model)
+    model.eval()
+    return model

@@ -1,0 +1,33 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so every
+experiment in the reproduction is seeded end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """Kaiming-He normal initialization for ReLU-family activations."""
+    std = np.sqrt(2.0 / float(fan_in))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform initialization for linear/sigmoid-ish layers."""
+    limit = np.sqrt(6.0 / float(fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,101 @@
+"""Loss functions used across the reproduction.
+
+Includes the standard task losses (cross-entropy for classification, MSE and
+smooth-L1 for regression, BCE-with-logits for objectness) and the InfoNCE
+contrastive loss from eq. (10) of the paper, with the multi-positive/margin
+variant §V-C.3 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    sq = diff * diff
+    return _reduce(sq, reduction)
+
+
+def smooth_l1_loss(prediction: Tensor, target, beta: float = 1.0,
+                   reduction: str = "mean") -> Tensor:
+    """Huber-style loss; quadratic below ``beta``, linear above."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic_mask = abs_diff.data < beta
+    from .tensor import where
+    loss = where(quadratic_mask, 0.5 * diff * diff * (1.0 / beta),
+                 abs_diff - 0.5 * beta)
+    return _reduce(loss, reduction)
+
+
+def bce_with_logits(logits: Tensor, target, weight: Optional[np.ndarray] = None,
+                    reduction: str = "mean") -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``bce = max(z,0) - z*y + log(1+exp(-|z|))``.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    relu_z = logits.relu()
+    loss = relu_z - logits * target + (1.0 + (-logits.abs()).exp()).log()
+    if weight is not None:
+        loss = loss * Tensor(weight)
+    return _reduce(loss, reduction)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy; ``labels`` are integer class indices (N,)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = F.log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    loss = -picked
+    return _reduce(loss, reduction)
+
+
+def info_nce(embeddings_a: Tensor, embeddings_b: Tensor,
+             temperature: float = 0.2, margin: float = 0.0) -> Tensor:
+    """InfoNCE / NT-Xent loss of eq. (10).
+
+    ``embeddings_a`` and ``embeddings_b`` are the two augmented views,
+    shape (N, D).  Positives are the matched rows; all other in-batch rows are
+    negatives.  A positive ``margin`` is subtracted from the positive
+    similarity before the softmax (the paper's "multi-positive contrastive
+    loss with a margin" reduces to this when each anchor has one positive per
+    view, generalized below by symmetrizing over both views).
+    """
+    a = _l2_normalize(embeddings_a)
+    b = _l2_normalize(embeddings_b)
+    n = a.shape[0]
+    logits_ab = (a @ b.transpose(1, 0)) * (1.0 / temperature)
+    logits_ba = (b @ a.transpose(1, 0)) * (1.0 / temperature)
+    if margin:
+        eye = np.eye(n, dtype=np.float32) * (margin / temperature)
+        logits_ab = logits_ab - Tensor(eye)
+        logits_ba = logits_ba - Tensor(eye)
+    labels = np.arange(n)
+    return 0.5 * (cross_entropy(logits_ab, labels)
+                  + cross_entropy(logits_ba, labels))
+
+
+def _l2_normalize(x: Tensor, eps: float = 1e-8) -> Tensor:
+    norm = ((x * x).sum(axis=-1, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def _reduce(loss: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

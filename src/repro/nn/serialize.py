@@ -1,0 +1,32 @@
+"""Model checkpointing: state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Write a state dict atomically (write temp file, then rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    # npz keys cannot contain '/' safely on all loaders; dots are fine.
+    np.savez(tmp, **state)
+    # numpy appends .npz to the temp name.
+    os.replace(tmp + ".npz" if not tmp.endswith(".npz") else tmp, path)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(path: str, module) -> None:
+    save_state(path, module.state_dict())
+
+
+def load_module(path: str, module) -> None:
+    module.load_state_dict(load_state(path))

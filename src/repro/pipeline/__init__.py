@@ -1,0 +1,26 @@
+"""``repro.pipeline`` — the OpenPilot-like Level-2 ADS substrate.
+
+The paper evaluates its regression attacks in the context of a production
+ACC stack (OpenPilot); this package provides the corresponding closed loop:
+camera -> perception -> lead Kalman filter -> ACC planner -> safety monitor
+-> vehicle dynamics, with hooks for runtime attacks (CAP) and runtime input
+defenses.
+"""
+
+from .acc import ACCConfig, ACCPlanner
+from .camera import Camera, CameraFrame
+from .perception import PerceptionOutput, PerceptionService
+from .safety import SafetyConfig, SafetyEvent, SafetyLevel, SafetyMonitor
+from .simulator import (ClosedLoopSimulator, ScenarioConfig, SimulationResult,
+                        TickLog, make_cap_runtime_attack)
+from .tracker import LeadEstimate, LeadKalmanFilter
+from .vehicle import Vehicle, VehicleState
+
+__all__ = [
+    "ACCConfig", "ACCPlanner", "Camera", "CameraFrame",
+    "PerceptionService", "PerceptionOutput",
+    "SafetyMonitor", "SafetyConfig", "SafetyLevel", "SafetyEvent",
+    "LeadKalmanFilter", "LeadEstimate", "Vehicle", "VehicleState",
+    "ClosedLoopSimulator", "ScenarioConfig", "SimulationResult", "TickLog",
+    "make_cap_runtime_attack",
+]

@@ -1,0 +1,55 @@
+"""Adaptive Cruise Control planner + longitudinal controller.
+
+OpenPilot-style time-gap policy: the ego car holds a desired following gap
+``d_desired = d_min + t_gap * v_ego`` behind the lead, otherwise tracks a set
+cruise speed.  The planner outputs a desired acceleration; a PI controller
+with feed-forward on relative speed turns gap error into the command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ACCConfig:
+    time_gap_s: float = 1.6          # desired time headway
+    min_gap_m: float = 4.0           # standstill gap
+    cruise_speed: float = 28.0       # m/s (~100 km/h) set speed
+    gap_gain: float = 0.25           # proportional gain on gap error
+    speed_gain: float = 0.9          # gain on relative speed
+    cruise_gain: float = 0.4         # gain toward the set speed
+    max_planned_accel: float = 2.0
+    max_planned_decel: float = -3.5  # comfort braking floor (AEB goes lower)
+
+
+class ACCPlanner:
+    """Desired-acceleration planner from lead estimate + ego speed."""
+
+    def __init__(self, config: Optional[ACCConfig] = None):
+        self.config = config or ACCConfig()
+
+    def desired_gap(self, ego_speed: float) -> float:
+        return self.config.min_gap_m + self.config.time_gap_s * ego_speed
+
+    def plan(self, ego_speed: float, lead_distance: Optional[float],
+             lead_relative_speed: float = 0.0) -> float:
+        """Desired acceleration (m/s^2).
+
+        ``lead_distance=None`` means no lead: track the cruise set speed.
+        ``lead_relative_speed`` is d(distance)/dt (negative = closing).
+        """
+        cfg = self.config
+        cruise_accel = cfg.cruise_gain * (cfg.cruise_speed - ego_speed)
+        if lead_distance is None:
+            accel = cruise_accel
+        else:
+            gap_error = lead_distance - self.desired_gap(ego_speed)
+            follow_accel = (cfg.gap_gain * gap_error
+                            + cfg.speed_gain * lead_relative_speed)
+            # Never accelerate past what cruise would do; the binding
+            # constraint wins (standard ACC arbitration).
+            accel = min(cruise_accel, follow_accel)
+        return float(min(max(accel, cfg.max_planned_decel),
+                         cfg.max_planned_accel))

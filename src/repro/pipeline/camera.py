@@ -1,0 +1,49 @@
+"""Camera sensor model for the closed-loop simulator.
+
+Renders what the ego camera sees given the true relative geometry, with a
+simple exposure/noise model.  This is the attack surface: CAP-Attack (and
+any other runtime attack) perturbs the frames this camera produces, before
+perception sees them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.driving import MAX_DISTANCE, render_frame
+from ..data.transforms import clip01
+
+
+@dataclass
+class CameraFrame:
+    image: np.ndarray                                 # (3, H, W)
+    lead_box: Optional[Tuple[int, int, int, int]]     # pixel box or None
+    true_distance: Optional[float]
+
+
+class Camera:
+    """Pinhole camera with exposure jitter and sensor noise."""
+
+    def __init__(self, noise_sigma: float = 0.01,
+                 exposure_jitter: float = 0.03, seed: int = 0):
+        self.noise_sigma = float(noise_sigma)
+        self.exposure_jitter = float(exposure_jitter)
+        self._rng = np.random.default_rng(seed)
+
+    def capture(self, true_distance: Optional[float],
+                lateral_offset: float = 0.0) -> CameraFrame:
+        """Render the scene at the given relative distance."""
+        if true_distance is not None and true_distance > MAX_DISTANCE:
+            true_distance = None  # beyond sensor range -> empty road
+        frame = render_frame(true_distance, self._rng,
+                             lateral_offset=lateral_offset)
+        image = frame.image
+        if self.exposure_jitter:
+            image = image * (1.0 + self._rng.normal(0, self.exposure_jitter))
+        if self.noise_sigma:
+            image = image + self._rng.normal(0, self.noise_sigma, image.shape)
+        return CameraFrame(image=clip01(image), lead_box=frame.lead_box,
+                           true_distance=true_distance)

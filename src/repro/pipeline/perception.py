@@ -1,0 +1,49 @@
+"""Perception service: camera frame -> lead distance measurement.
+
+Wraps the :class:`DistanceRegressor` the way OpenPilot wraps Supercombo: the
+simulator hands it a rendered frame (possibly adversarially perturbed,
+possibly defense-purified) and gets back a distance measurement plus a
+validity flag.  An optional :class:`InputDefense` runs inline, which is how
+runtime defenses (median blur etc.) deploy in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..data.driving import MAX_DISTANCE
+from ..defenses.base import InputDefense
+from ..models.distance import DistanceRegressor
+
+
+@dataclass
+class PerceptionOutput:
+    distance: Optional[float]     # None when no plausible lead
+    raw_distance: float           # the regressor's raw output (metres)
+    defended: bool                # whether an input defense ran
+
+
+class PerceptionService:
+    """Single-frame lead-distance perception with optional input defense."""
+
+    def __init__(self, model: DistanceRegressor,
+                 defense: Optional[InputDefense] = None,
+                 no_lead_threshold: float = 0.97 * MAX_DISTANCE):
+        self.model = model
+        self.defense = defense
+        self.no_lead_threshold = float(no_lead_threshold)
+
+    def process(self, frame: np.ndarray) -> PerceptionOutput:
+        """``frame`` is one (3, H, W) image in [0, 1]."""
+        batch = frame[None].astype(np.float32)
+        if self.defense is not None:
+            batch = self.defense.purify(batch)
+        raw = float(self.model.predict(batch)[0])
+        # Near-saturated output means "no lead" (the regressor is trained to
+        # emit MAX_DISTANCE on empty roads).
+        distance = None if raw >= self.no_lead_threshold else raw
+        return PerceptionOutput(distance=distance, raw_distance=raw,
+                                defended=self.defense is not None)

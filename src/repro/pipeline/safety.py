@@ -1,0 +1,78 @@
+"""Runtime safety monitor: forward-collision warning and AEB.
+
+The paper's Related Work motivates runtime safety monitoring/interventions
+as a defense layer ([53]–[55]); this module provides the standard one for
+ACC: time-to-collision (TTC) thresholds that first warn (FCW) then command
+full braking (AEB), independent of the ACC planner.  In the closed-loop
+experiments this is what stands between a fooled perception model and a
+collision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+
+class SafetyLevel(Enum):
+    NOMINAL = "nominal"
+    WARNING = "fcw"
+    EMERGENCY = "aeb"
+
+
+@dataclass
+class SafetyConfig:
+    fcw_ttc_s: float = 4.0     # warn below this TTC
+    aeb_ttc_s: float = 2.0     # brake below this TTC
+    aeb_decel: float = -6.0    # m/s^2 emergency braking
+    min_speed_for_ttc: float = 0.5
+
+
+@dataclass
+class SafetyEvent:
+    time_s: float
+    level: SafetyLevel
+    ttc_s: float
+
+
+class SafetyMonitor:
+    """Stateless TTC policy + event log."""
+
+    def __init__(self, config: Optional[SafetyConfig] = None):
+        self.config = config or SafetyConfig()
+        self.events: List[SafetyEvent] = []
+
+    def reset(self) -> None:
+        self.events.clear()
+
+    @staticmethod
+    def time_to_collision(distance: float, closing_speed: float) -> float:
+        """TTC in seconds; +inf when not closing."""
+        if closing_speed <= 0.0:
+            return float("inf")
+        return max(0.0, distance) / closing_speed
+
+    def assess(self, time_s: float, distance: Optional[float],
+               closing_speed: float) -> SafetyLevel:
+        """Classify the situation and log FCW/AEB events.
+
+        ``closing_speed`` is positive when the gap shrinks.
+        """
+        if distance is None or closing_speed < self.config.min_speed_for_ttc:
+            return SafetyLevel.NOMINAL
+        ttc = self.time_to_collision(distance, closing_speed)
+        if ttc < self.config.aeb_ttc_s:
+            self.events.append(SafetyEvent(time_s, SafetyLevel.EMERGENCY, ttc))
+            return SafetyLevel.EMERGENCY
+        if ttc < self.config.fcw_ttc_s:
+            self.events.append(SafetyEvent(time_s, SafetyLevel.WARNING, ttc))
+            return SafetyLevel.WARNING
+        return SafetyLevel.NOMINAL
+
+    def override_acceleration(self, level: SafetyLevel,
+                              planned_accel: float) -> float:
+        """AEB overrides the planner with full braking."""
+        if level is SafetyLevel.EMERGENCY:
+            return self.config.aeb_decel
+        return planned_accel

@@ -1,0 +1,162 @@
+"""Closed-loop ACC simulator: the OpenPilot-context substrate.
+
+Ties the whole stack together at 20 Hz:
+
+    lead trajectory -> Camera -> [runtime attack] -> [input defense]
+        -> PerceptionService -> LeadKalmanFilter -> ACCPlanner
+        -> SafetyMonitor (FCW/AEB override) -> Vehicle dynamics
+
+This is the environment in which CAP-Attack was designed to operate
+(§III-E.2): the attack sees each camera frame, inherits its patch across
+frames, and tries to make the ego tailgate or collide.  The simulator logs
+everything needed to quantify safety impact: per-tick true/perceived/tracked
+distance, speeds, commands, and safety events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..attacks.base import LossFn, regressor_loss_fn
+from ..attacks.cap import CAPAttack
+from ..defenses.base import InputDefense
+from ..models.distance import DistanceRegressor
+from .acc import ACCConfig, ACCPlanner
+from .camera import Camera
+from .perception import PerceptionService
+from .safety import SafetyLevel, SafetyMonitor
+from .tracker import LeadKalmanFilter
+from .vehicle import Vehicle, VehicleState
+
+# A runtime attack hooks the frame stream: (frame, lead_box, loss_fn) -> frame
+RuntimeAttack = Callable[[np.ndarray, Optional[Tuple[int, int, int, int]],
+                          LossFn], np.ndarray]
+
+
+@dataclass
+class TickLog:
+    time_s: float
+    true_distance: float
+    perceived_distance: Optional[float]
+    tracked_distance: float
+    ego_speed: float
+    lead_speed: float
+    commanded_accel: float
+    safety_level: SafetyLevel
+
+
+@dataclass
+class SimulationResult:
+    ticks: List[TickLog]
+    collided: bool
+    min_distance: float
+    fcw_count: int
+    aeb_count: int
+
+    def perception_errors(self) -> np.ndarray:
+        """Per-tick |perceived - true| where perception produced a value."""
+        errs = [abs(t.perceived_distance - t.true_distance)
+                for t in self.ticks if t.perceived_distance is not None]
+        return np.array(errs)
+
+
+@dataclass
+class ScenarioConfig:
+    duration_s: float = 30.0
+    dt: float = 0.05
+    initial_gap_m: float = 60.0
+    ego_speed: float = 28.0
+    lead_speed: float = 25.0
+    lead_profile: Optional[Callable[[float], float]] = None  # time -> speed
+
+
+class ClosedLoopSimulator:
+    """Runs one ACC-following scenario and returns a full log."""
+
+    def __init__(self, perception_model: DistanceRegressor,
+                 defense: Optional[InputDefense] = None,
+                 acc_config: Optional[ACCConfig] = None,
+                 safety_monitor: Optional[SafetyMonitor] = None,
+                 enable_safety: bool = True, seed: int = 0):
+        self.perception_model = perception_model
+        self.perception = PerceptionService(perception_model, defense=defense)
+        self.planner = ACCPlanner(acc_config)
+        self.safety = safety_monitor or SafetyMonitor()
+        self.enable_safety = enable_safety
+        self.camera = Camera(seed=seed)
+
+    def run(self, scenario: ScenarioConfig,
+            attack: Optional[RuntimeAttack] = None) -> SimulationResult:
+        ego = Vehicle()
+        ego.state = VehicleState(position=0.0, speed=scenario.ego_speed)
+        lead_position = scenario.initial_gap_m
+        lead_speed = scenario.lead_speed
+        tracker = LeadKalmanFilter(initial_distance=scenario.initial_gap_m)
+        tracker.reset(scenario.initial_gap_m)
+        self.safety.reset()
+
+        ticks: List[TickLog] = []
+        collided = False
+        min_distance = float("inf")
+        steps = int(round(scenario.duration_s / scenario.dt))
+        for step in range(steps):
+            now = step * scenario.dt
+            if scenario.lead_profile is not None:
+                lead_speed = float(scenario.lead_profile(now))
+            lead_position += lead_speed * scenario.dt
+            true_distance = lead_position - ego.state.position
+            min_distance = min(min_distance, true_distance)
+            if true_distance <= 0:
+                collided = True
+                break
+
+            frame = self.camera.capture(true_distance)
+            image = frame.image
+            if attack is not None:
+                loss_fn = regressor_loss_fn(
+                    self.perception_model,
+                    np.array([true_distance], dtype=np.float32))
+                image = attack(image, frame.lead_box, loss_fn)
+            perceived = self.perception.process(image)
+            estimate = tracker.step(perceived.distance, scenario.dt)
+
+            lead_for_planner = (estimate.distance
+                                if perceived.distance is not None
+                                or estimate.variance < 50.0 else None)
+            planned = self.planner.plan(ego.state.speed, lead_for_planner,
+                                        estimate.relative_speed)
+            closing_speed = -estimate.relative_speed
+            level = SafetyLevel.NOMINAL
+            if self.enable_safety:
+                level = self.safety.assess(now, lead_for_planner,
+                                           closing_speed)
+                planned = self.safety.override_acceleration(level, planned)
+            ego.step(planned, scenario.dt)
+
+            ticks.append(TickLog(
+                time_s=now, true_distance=true_distance,
+                perceived_distance=perceived.distance,
+                tracked_distance=estimate.distance,
+                ego_speed=ego.state.speed, lead_speed=lead_speed,
+                commanded_accel=planned, safety_level=level))
+
+        fcw = sum(1 for e in self.safety.events
+                  if e.level is SafetyLevel.WARNING)
+        aeb = sum(1 for e in self.safety.events
+                  if e.level is SafetyLevel.EMERGENCY)
+        return SimulationResult(ticks=ticks, collided=collided,
+                                min_distance=min_distance,
+                                fcw_count=fcw, aeb_count=aeb)
+
+
+def make_cap_runtime_attack(cap: CAPAttack) -> RuntimeAttack:
+    """Adapt a :class:`CAPAttack` to the simulator's frame hook."""
+    cap.reset()
+
+    def hook(frame: np.ndarray, box, loss_fn: LossFn) -> np.ndarray:
+        return cap.attack_frame(frame, box, loss_fn)
+
+    return hook

@@ -1,0 +1,74 @@
+"""Lead-vehicle Kalman filter — the OpenPilot "lead KF" analogue.
+
+OpenPilot does not feed raw Supercombo outputs to the planner; a Kalman
+filter smooths the lead distance and estimates relative speed.  The filter
+matters for the attack story: it low-passes single-frame perturbations but
+*tracks* temporally coherent ones — which is exactly why CAP-Attack inherits
+its patch frame to frame.
+
+State: [relative distance (m), relative speed (m/s)].  Constant-velocity
+process model, distance-only measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LeadEstimate:
+    distance: float
+    relative_speed: float
+    variance: float
+
+
+class LeadKalmanFilter:
+    """1-D constant-velocity KF over relative distance."""
+
+    def __init__(self, process_noise: float = 0.5,
+                 measurement_noise: float = 4.0,
+                 initial_distance: float = 50.0):
+        self.q = float(process_noise)
+        self.r = float(measurement_noise)
+        self.x = np.array([initial_distance, 0.0], dtype=np.float64)
+        self.p = np.diag([100.0, 25.0])
+        self._initialized = False
+
+    def reset(self, distance: Optional[float] = None) -> None:
+        self.x = np.array([distance if distance is not None else 50.0, 0.0])
+        self.p = np.diag([100.0, 25.0])
+        self._initialized = distance is not None
+
+    def predict(self, dt: float) -> None:
+        f = np.array([[1.0, dt], [0.0, 1.0]])
+        self.x = f @ self.x
+        g = np.array([0.5 * dt * dt, dt])
+        self.p = f @ self.p @ f.T + self.q * np.outer(g, g)
+
+    def update(self, measured_distance: float) -> LeadEstimate:
+        if not self._initialized:
+            self.x[0] = measured_distance
+            self._initialized = True
+        h = np.array([1.0, 0.0])
+        innovation = measured_distance - h @ self.x
+        s = h @ self.p @ h + self.r
+        k = self.p @ h / s
+        self.x = self.x + k * innovation
+        self.p = (np.eye(2) - np.outer(k, h)) @ self.p
+        return self.estimate()
+
+    def step(self, measured_distance: Optional[float], dt: float
+             ) -> LeadEstimate:
+        """Predict, then update if a measurement arrived."""
+        self.predict(dt)
+        if measured_distance is not None and np.isfinite(measured_distance):
+            return self.update(float(measured_distance))
+        return self.estimate()
+
+    def estimate(self) -> LeadEstimate:
+        return LeadEstimate(distance=float(self.x[0]),
+                            relative_speed=float(self.x[1]),
+                            variance=float(self.p[0, 0]))

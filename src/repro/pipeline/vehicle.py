@@ -1,0 +1,46 @@
+"""Longitudinal vehicle dynamics for the closed-loop ACC simulation.
+
+A point-mass model with bounded acceleration and a first-order actuator lag —
+the standard fidelity level for longitudinal ADS studies (the paper's
+CAP-Attack evaluation context is OpenPilot's ACC, which commands longitudinal
+acceleration only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VehicleState:
+    """Position (m, along-track), speed (m/s), realized acceleration."""
+
+    position: float = 0.0
+    speed: float = 0.0
+    acceleration: float = 0.0
+
+
+@dataclass
+class Vehicle:
+    """Point-mass longitudinal model with actuator lag and limits."""
+
+    max_accel: float = 2.0       # m/s^2, comfort accel limit
+    max_brake: float = -6.0      # m/s^2, AEB-grade braking
+    actuator_tau: float = 0.25   # s, first-order lag of the powertrain/brakes
+    state: VehicleState = field(default_factory=VehicleState)
+
+    def step(self, commanded_accel: float, dt: float) -> VehicleState:
+        """Advance one tick under the commanded acceleration."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        command = min(max(commanded_accel, self.max_brake), self.max_accel)
+        # First-order actuator response toward the command.
+        blend = dt / (self.actuator_tau + dt)
+        accel = self.state.acceleration + blend * (command - self.state.acceleration)
+        speed = max(0.0, self.state.speed + accel * dt)
+        if speed == 0.0 and accel < 0.0:
+            accel = 0.0  # no braking below standstill
+        position = self.state.position + speed * dt
+        self.state = VehicleState(position=position, speed=speed,
+                                  acceleration=accel)
+        return self.state

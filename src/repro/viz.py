@@ -1,0 +1,117 @@
+"""Visualization: write scenes, attacks, and comparisons as image files.
+
+No plotting dependency is available offline, so images are written as binary
+PPM (P6) — viewable everywhere and trivially convertible.  This is what
+regenerates the paper's Fig. 1 (dataset examples) as actual image files, and
+what the examples use to dump qualitative attack/defense comparisons.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def to_uint8(image_chw: np.ndarray) -> np.ndarray:
+    """(3,H,W) float [0,1] -> (H,W,3) uint8."""
+    clipped = np.clip(image_chw, 0.0, 1.0)
+    return (clipped.transpose(1, 2, 0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(path: str, image_chw: np.ndarray) -> str:
+    """Write one CHW image as binary PPM; returns the path."""
+    data = to_uint8(image_chw)
+    h, w, _ = data.shape
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{w} {h}\n255\n".encode())
+        handle.write(data.tobytes())
+    return path
+
+
+def read_ppm(path: str) -> np.ndarray:
+    """Read a binary PPM back into a (3,H,W) float image (for tests)."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"not a binary PPM: {magic!r}")
+        dims = handle.readline().split()
+        w, h = int(dims[0]), int(dims[1])
+        handle.readline()  # maxval
+        raw = np.frombuffer(handle.read(w * h * 3), dtype=np.uint8)
+    hwc = raw.reshape(h, w, 3).astype(np.float32) / 255.0
+    return hwc.transpose(2, 0, 1).copy()
+
+
+def draw_box(image_chw: np.ndarray, box: Tuple[float, float, float, float],
+             color=(0.0, 1.0, 0.0), thickness: int = 1) -> np.ndarray:
+    """Return a copy with a rectangle outline drawn on it."""
+    out = image_chw.copy()
+    c, h, w = out.shape
+    x1, y1, x2, y2 = [int(round(v)) for v in box]
+    x1, x2 = max(0, x1), min(w - 1, x2)
+    y1, y2 = max(0, y1), min(h - 1, y2)
+    col = np.asarray(color, dtype=np.float32).reshape(3, 1)
+    for t in range(thickness):
+        if y1 + t < h:
+            out[:, y1 + t, x1:x2 + 1] = col
+        if 0 <= y2 - t < h:
+            out[:, y2 - t, x1:x2 + 1] = col
+        if x1 + t < w:
+            out[:, y1:y2 + 1, x1 + t] = col
+        if 0 <= x2 - t < w:
+            out[:, y1:y2 + 1, x2 - t] = col
+    return out
+
+
+def hstack_images(images: Sequence[np.ndarray], gap: int = 2,
+                  fill: float = 1.0) -> np.ndarray:
+    """Concatenate CHW images horizontally with a separator gap."""
+    if not images:
+        raise ValueError("need at least one image")
+    height = max(img.shape[1] for img in images)
+    padded: List[np.ndarray] = []
+    for i, img in enumerate(images):
+        c, h, w = img.shape
+        canvas = np.full((c, height, w), fill, dtype=np.float32)
+        canvas[:, :h] = img
+        padded.append(canvas)
+        if i < len(images) - 1:
+            padded.append(np.full((c, height, gap), fill, dtype=np.float32))
+    return np.concatenate(padded, axis=2)
+
+
+def amplify_difference(original: np.ndarray, perturbed: np.ndarray,
+                       scale: float = 5.0) -> np.ndarray:
+    """Visualize a perturbation: 0.5 + scale * delta, clipped."""
+    delta = perturbed.astype(np.float32) - original.astype(np.float32)
+    return np.clip(0.5 + scale * delta, 0.0, 1.0).astype(np.float32)
+
+
+def save_attack_panel(path: str, clean: np.ndarray, adversarial: np.ndarray,
+                      defended: Optional[np.ndarray] = None) -> str:
+    """Write a [clean | adversarial | amplified delta (| defended)] strip."""
+    panels = [clean, adversarial, amplify_difference(clean, adversarial)]
+    if defended is not None:
+        panels.append(defended)
+    return write_ppm(path, hstack_images(panels))
+
+
+def save_dataset_examples(directory: str, seed: int = 0) -> List[str]:
+    """Fig. 1 equivalent: one example image per synthetic dataset."""
+    from .data.driving import render_frame
+    from .data.signs import render_scene
+
+    rng = np.random.default_rng(seed)
+    scene = render_scene(rng, force_sign=True)
+    sign_img = scene.image
+    for box in scene.boxes:
+        sign_img = draw_box(sign_img, box)
+    frame = render_frame(15.0, rng)
+    drive_img = draw_box(frame.image, frame.lead_box, color=(1.0, 1.0, 0.0))
+    return [
+        write_ppm(os.path.join(directory, "fig1_sign_scene.ppm"), sign_img),
+        write_ppm(os.path.join(directory, "fig1_driving_frame.ppm"), drive_img),
+    ]

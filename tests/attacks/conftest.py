@@ -1,0 +1,28 @@
+"""Shared fixtures: small pre-trained models from the cached zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import get_detector, get_regressor, get_sign_testset
+
+
+@pytest.fixture(scope="session")
+def detector():
+    return get_detector()
+
+
+@pytest.fixture(scope="session")
+def regressor():
+    return get_regressor()
+
+
+@pytest.fixture(scope="session")
+def sign_scenes():
+    return get_sign_testset(n_scenes=24, seed=555)
+
+
+@pytest.fixture(scope="session")
+def driving_frames():
+    """(images, distances, boxes) spanning close and far ranges."""
+    from repro.eval.harness import make_balanced_eval_frames
+    return make_balanced_eval_frames(n_per_range=6, seed=777)

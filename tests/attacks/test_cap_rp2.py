@@ -1,0 +1,122 @@
+"""CAP-Attack and RP2 specifics: statefulness, masks, regularizers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CAPAttack, RP2Attack, regressor_loss_fn
+from repro.attacks.rp2 import non_printability_score
+from repro.nn import Tensor
+
+
+class TestCAPAttack:
+    def test_patch_inherited_across_frames(self, regressor, driving_frames):
+        images, distances, boxes = driving_frames
+        cap = CAPAttack(steps_per_frame=1)
+        loss_fn = regressor_loss_fn(regressor, distances[:1])
+        cap.attack_frame(images[0], boxes[0], loss_fn)
+        first_patch = cap._patch.copy()
+        cap.attack_frame(images[1], boxes[1],
+                         regressor_loss_fn(regressor, distances[1:2]))
+        assert cap._patch is not None
+        # State evolved rather than restarting from zero.
+        assert np.abs(first_patch).sum() > 0
+
+    def test_patch_resized_to_new_box(self, regressor, driving_frames):
+        images, distances, boxes = driving_frames
+        cap = CAPAttack(steps_per_frame=1)
+        # Frame with a big box then a small box: patch must refit.
+        order = np.argsort([-(b[2] - b[0]) for b in boxes])
+        big, small = order[0], order[-1]
+        cap.attack_frame(images[big], boxes[big],
+                         regressor_loss_fn(regressor, distances[big:big + 1]))
+        cap.attack_frame(images[small], boxes[small],
+                         regressor_loss_fn(regressor, distances[small:small + 1]))
+        x1, y1, x2, y2 = boxes[small]
+        assert cap._patch.shape[1:] == (y2 - y1, x2 - x1)
+
+    def test_reset_clears_state(self, regressor, driving_frames):
+        images, distances, boxes = driving_frames
+        cap = CAPAttack(steps_per_frame=1)
+        cap.attack_frame(images[0], boxes[0],
+                         regressor_loss_fn(regressor, distances[:1]))
+        cap.reset()
+        assert cap._patch is None
+
+    def test_no_box_passthrough(self, regressor, driving_frames):
+        images, distances, _ = driving_frames
+        cap = CAPAttack()
+        out = cap.attack_frame(images[0], None,
+                               regressor_loss_fn(regressor, distances[:1]))
+        np.testing.assert_array_equal(out, images[0])
+
+    def test_perturbation_confined_to_box(self, regressor, driving_frames):
+        images, distances, boxes = driving_frames
+        cap = CAPAttack(steps_per_frame=2)
+        out = cap.attack_frame(images[0], boxes[0],
+                               regressor_loss_fn(regressor, distances[:1]))
+        diff = np.abs(out - images[0])
+        x1, y1, x2, y2 = boxes[0]
+        outside = diff.copy()
+        outside[:, y1:y2, x1:x2] = 0
+        assert outside.max() == 0.0
+
+    def test_patch_bounded_by_eps(self, regressor, driving_frames):
+        images, distances, boxes = driving_frames
+        cap = CAPAttack(eps=0.07, steps_per_frame=3)
+        for i in range(4):
+            cap.attack_frame(images[i], boxes[i],
+                             regressor_loss_fn(regressor, distances[i:i + 1]))
+        assert np.abs(cap._patch).max() <= 0.07 + 1e-6
+
+    def test_temporal_accumulation_strengthens_attack(self, regressor,
+                                                      driving_frames):
+        """Re-attacking the same frame with inherited state beats frame 1."""
+        images, distances, boxes = driving_frames
+        i = 0
+        loss_fn = regressor_loss_fn(regressor, distances[i:i + 1])
+        cap = CAPAttack(steps_per_frame=1)
+        clean_pred = regressor.predict(images[i:i + 1])[0]
+        first = cap.attack_frame(images[i], boxes[i], loss_fn)
+        err_first = abs(regressor.predict(first[None])[0] - clean_pred)
+        for _ in range(8):
+            last = cap.attack_frame(images[i], boxes[i], loss_fn)
+        err_last = abs(regressor.predict(last[None])[0] - clean_pred)
+        assert err_last >= err_first
+
+
+class TestRP2:
+    def test_nps_zero_for_printable_colors(self):
+        from repro.attacks.rp2 import PRINTABLE_COLORS
+        patch = np.zeros((1, 3, 2, 2), dtype=np.float32)
+        patch[0, :, 0, 0] = PRINTABLE_COLORS[2]
+        patch[0, :, 0, 1] = PRINTABLE_COLORS[0]
+        patch[0, :, 1, 0] = PRINTABLE_COLORS[1]
+        patch[0, :, 1, 1] = PRINTABLE_COLORS[3]
+        score = non_printability_score(Tensor(patch))
+        assert score.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_nps_positive_for_unprintable(self):
+        patch = np.full((1, 3, 2, 2), 0.456, dtype=np.float32)
+        assert non_printability_score(Tensor(patch)).item() > 0
+
+    def test_rp2_respects_sign_mask(self, detector, sign_scenes):
+        from repro.attacks import detector_loss_fn
+        scene = next(s for s in sign_scenes.scenes if s.has_sign)
+        images = scene.image[None]
+        mask = scene.sign_masks[0].astype(np.float32)[None, None]
+        attack = RP2Attack(n_iter=4, n_transforms=2)
+        adv = attack.perturb(images, detector_loss_fn(detector, [scene.boxes]),
+                             mask=mask)
+        diff = np.abs(adv - images)
+        assert (diff * (1 - mask)).max() <= 1e-6
+        assert (diff * mask).max() > 0  # actually perturbed the sign
+
+    def test_rp2_deterministic_given_seed(self, detector, sign_scenes):
+        from repro.attacks import detector_loss_fn
+        images = sign_scenes.images()[:1]
+        targets = [sign_scenes.scenes[0].boxes]
+        a = RP2Attack(n_iter=2, n_transforms=2, seed=5).perturb(
+            images, detector_loss_fn(detector, targets))
+        b = RP2Attack(n_iter=2, n_transforms=2, seed=5).perturb(
+            images, detector_loss_fn(detector, targets))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,71 @@
+"""SimBA-specific properties: query accounting and the eq. (4) bound."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SimBAAttack, detector_loss_fn
+from repro.attacks.simba import SimBAResult
+
+
+class TestSimBAProperties:
+    def test_query_budget_respected(self, detector, sign_scenes):
+        images = sign_scenes.images()[:2]
+        targets = [s.boxes for s in sign_scenes.scenes[:2]]
+        attack = SimBAAttack(eps=0.2, max_queries=25)
+        attack.perturb(images, detector_loss_fn(detector, targets))
+        # Budget is per image; allow the +1 initial query and the final pair.
+        assert attack.last_result.queries <= 2 * (25 + 2)
+
+    def test_perturbation_l2_bound_eq4(self, detector, sign_scenes):
+        """||delta_T||_2^2 <= T * eps^2 with T = accepted steps (eq. 4)."""
+        images = sign_scenes.images()[:1]
+        targets = [s.boxes for s in sign_scenes.scenes[:1]]
+        eps = 0.25
+        attack = SimBAAttack(eps=eps, max_queries=60, basis="dct")
+        adv = attack.perturb(images, detector_loss_fn(detector, targets))
+        accepted = attack.last_result.accepted_steps
+        delta_sq = float(((adv - images) ** 2).sum())
+        # Clipping to [0,1] can only shrink delta, so the bound holds.
+        assert delta_sq <= accepted * eps ** 2 + 1e-5
+
+    def test_loss_trace_monotonic(self, detector, sign_scenes):
+        """Accepted steps never decrease the objective."""
+        images = sign_scenes.images()[:1]
+        targets = [s.boxes for s in sign_scenes.scenes[:1]]
+        attack = SimBAAttack(eps=0.2, max_queries=60)
+        attack.perturb(images, detector_loss_fn(detector, targets))
+        trace = attack.last_result.loss_trace
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+
+    def test_pixel_basis_directions_one_hot(self):
+        attack = SimBAAttack(basis="pixel")
+        d = attack._direction((3, 8, 8), 17)
+        assert d.sum() == 1.0
+        assert (d >= 0).all()
+
+    def test_dct_basis_directions_unit_norm(self):
+        attack = SimBAAttack(basis="dct")
+        for index in (0, 5, 11):
+            d = attack._direction((3, 8, 8), index)
+            assert np.linalg.norm(d) == pytest.approx(1.0, rel=1e-5)
+
+    def test_dct_directions_orthogonal(self):
+        attack = SimBAAttack(basis="dct")
+        a = attack._direction((3, 8, 8), 0).reshape(-1)
+        b = attack._direction((3, 8, 8), 1).reshape(-1)
+        assert abs(a @ b) < 1e-5
+
+    def test_n_directions_counts(self):
+        pixel = SimBAAttack(basis="pixel")
+        assert pixel._n_directions((3, 8, 8)) == 192
+        dct = SimBAAttack(basis="dct", dct_fraction=0.5)
+        assert dct._n_directions((3, 8, 8)) == 3 * 4 * 4
+
+    def test_deterministic_given_seed(self, detector, sign_scenes):
+        images = sign_scenes.images()[:1]
+        targets = [s.boxes for s in sign_scenes.scenes[:1]]
+        a = SimBAAttack(eps=0.2, max_queries=20, seed=3).perturb(
+            images, detector_loss_fn(detector, targets))
+        b = SimBAAttack(eps=0.2, max_queries=20, seed=3).perturb(
+            images, detector_loss_fn(detector, targets))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,59 @@
+"""Attack variants: L2-norm FGSM and targeted regression objectives."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSMAttack, targeted_regressor_loss_fn
+from repro.nn import Tensor
+
+
+class TestL2FGSM:
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            FGSMAttack(norm="l1")
+
+    def test_l2_step_has_bounded_norm(self, regressor, driving_frames):
+        from repro.attacks import regressor_loss_fn
+        images, distances, _ = driving_frames
+        attack = FGSMAttack(eps=1.0, norm="l2")
+        adv = attack.perturb(images[:2],
+                             regressor_loss_fn(regressor, distances[:2]))
+        for i in range(2):
+            delta = (adv[i] - images[i]).reshape(-1)
+            # clipping to [0,1] can only shrink the step
+            assert np.linalg.norm(delta) <= 1.0 + 1e-4
+
+    def test_l2_and_linf_differ(self, regressor, driving_frames):
+        from repro.attacks import regressor_loss_fn
+        images, distances, _ = driving_frames
+        loss_fn = regressor_loss_fn(regressor, distances[:2])
+        linf = FGSMAttack(eps=0.05, norm="linf").perturb(images[:2], loss_fn)
+        l2 = FGSMAttack(eps=0.05, norm="l2").perturb(images[:2], loss_fn)
+        assert not np.array_equal(linf, l2)
+
+
+class TestTargetedObjective:
+    def test_targeted_loss_maximized_at_target(self, regressor):
+        """The objective is highest when predictions equal the target."""
+        from repro.data.driving import MAX_DISTANCE, render_frame
+        rng = np.random.default_rng(0)
+        frame = render_frame(20.0, rng).image[None]
+        loss_fn = targeted_regressor_loss_fn(regressor, 60.0)
+        base = float(loss_fn(Tensor(frame)).data)
+        assert base < 0.0  # prediction (~20) is far from target (60)
+
+    def test_targeted_attack_moves_prediction_toward_target(self, regressor,
+                                                            driving_frames):
+        from repro.attacks import AutoPGDAttack, boxes_to_mask
+        images, distances, boxes = driving_frames
+        close = [i for i, d in enumerate(distances) if d < 20][:3]
+        batch = images[close]
+        mask = boxes_to_mask([boxes[i] for i in close], 64, 128)
+        target = 70.0
+        loss_fn = targeted_regressor_loss_fn(regressor, target)
+        adv = AutoPGDAttack(eps=0.08, n_iter=15, seed=0).perturb(
+            batch, loss_fn, mask=mask)
+        before = regressor.predict(batch)
+        after = regressor.predict(adv)
+        # Predictions must move toward the attacker's chosen 70 m.
+        assert np.all(np.abs(after - target) < np.abs(before - target))

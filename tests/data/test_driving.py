@@ -1,0 +1,117 @@
+"""Driving-frame renderer: pinhole geometry and trajectory realism."""
+
+import numpy as np
+import pytest
+
+from repro.data import driving
+
+
+class TestProjection:
+    def test_size_scales_inversely_with_distance(self):
+        near = driving.project_lead(10.0)
+        far = driving.project_lead(40.0)
+        near_width = near[2] - near[0]
+        far_width = far[2] - far[0]
+        assert near_width == pytest.approx(4 * far_width, rel=0.3)
+
+    def test_bottom_approaches_horizon_with_distance(self):
+        rows = [driving.project_lead(d)[3] for d in (5, 10, 20, 40, 80)]
+        assert rows == sorted(rows, reverse=True)
+        assert rows[-1] >= driving.HORIZON_ROW
+
+    def test_lateral_offset_moves_box(self):
+        centered = driving.project_lead(20.0, 0.0)
+        offset = driving.project_lead(20.0, 1.0)
+        assert offset[0] > centered[0]
+
+    def test_pinhole_width_formula(self):
+        x1, _, x2, _ = driving.project_lead(15.0)
+        expected = driving.FOCAL_PX * driving.LEAD_WIDTH_M / 15.0
+        assert (x2 - x1) == pytest.approx(expected, abs=1.5)
+
+
+class TestRenderFrame:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        frame = driving.render_frame(20.0, rng)
+        assert frame.image.shape == (3, driving.FRAME_H, driving.FRAME_W)
+        assert 0.0 <= frame.image.min() and frame.image.max() <= 1.0
+
+    def test_lead_box_present_when_distance_given(self):
+        rng = np.random.default_rng(1)
+        frame = driving.render_frame(15.0, rng)
+        assert frame.has_lead
+        assert frame.distance == 15.0
+
+    def test_no_lead_frame(self):
+        rng = np.random.default_rng(2)
+        frame = driving.render_frame(None, rng)
+        assert not frame.has_lead
+        assert frame.distance == float("inf")
+
+    def test_lead_darker_than_road(self):
+        """The rendered vehicle body must stand out from the road."""
+        rng = np.random.default_rng(3)
+        frame = driving.render_frame(12.0, rng)
+        x1, y1, x2, y2 = frame.lead_box
+        body = frame.image[:, y1 + 1:y2 - 1, x1 + 1:x2 - 1].mean()
+        road = frame.image[:, y2 + 2:y2 + 6, :x1].mean()
+        assert body < road
+
+    def test_box_clipped_to_frame(self):
+        rng = np.random.default_rng(4)
+        frame = driving.render_frame(3.5, rng)  # very close: box clips
+        x1, y1, x2, y2 = frame.lead_box
+        assert 0 <= x1 <= x2 <= driving.FRAME_W
+        assert 0 <= y1 <= y2 <= driving.FRAME_H
+
+
+class TestTrajectory:
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(0)
+        trace = driving.car_following_trajectory(2000, rng)
+        assert trace.min() >= driving.MIN_DISTANCE
+        assert trace.max() <= driving.MAX_DISTANCE
+
+    def test_continuity(self):
+        """Frame-to-frame distance changes bounded by max rel speed * dt."""
+        rng = np.random.default_rng(1)
+        trace = driving.car_following_trajectory(500, rng)
+        deltas = np.abs(np.diff(trace))
+        assert deltas.max() <= 8.0 * 0.05 + 1e-9
+
+    def test_initial_distance_honored(self):
+        rng = np.random.default_rng(2)
+        trace = driving.car_following_trajectory(10, rng, initial_distance=30.0)
+        assert abs(trace[0] - 30.0) < 1.0
+
+
+class TestVideoAndTrainingSet:
+    def test_video_generation(self):
+        video = driving.generate_video(20, seed=0)
+        assert len(video) == 20
+        assert video.images().shape == (20, 3, 64, 128)
+        assert video.distances().shape == (20,)
+
+    def test_video_reproducible(self):
+        a = driving.generate_video(5, seed=7)
+        b = driving.generate_video(5, seed=7)
+        np.testing.assert_array_equal(a.images(), b.images())
+
+    def test_training_set_shapes(self):
+        images, distances = driving.generate_training_set(30, seed=0)
+        assert images.shape == (30, 3, 64, 128)
+        assert distances.shape == (30,)
+        assert np.isfinite(distances).all()
+
+    def test_no_lead_frames_get_max_distance(self):
+        images, distances = driving.generate_training_set(
+            50, seed=0, lead_fraction=0.0)
+        np.testing.assert_array_equal(distances,
+                                      np.full(50, driving.MAX_DISTANCE))
+
+    def test_training_distances_cover_all_ranges(self):
+        _, distances = driving.generate_training_set(400, seed=0)
+        for low, high in ((0, 20), (20, 40), (40, 60), (60, 80)):
+            assert ((distances >= low) & (distances < high)).any(), \
+                f"no training frames in [{low},{high})"

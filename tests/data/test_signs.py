@@ -1,0 +1,102 @@
+"""Sign-scene renderer: labels must be tight and rendering reproducible."""
+
+import numpy as np
+import pytest
+
+from repro.data import signs
+
+
+class TestRenderScene:
+    def test_image_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        scene = signs.render_scene(rng)
+        assert scene.image.shape == (3, 64, 64)
+        assert scene.image.dtype == np.float32
+        assert scene.image.min() >= 0.0 and scene.image.max() <= 1.0
+
+    def test_force_sign_true(self):
+        rng = np.random.default_rng(1)
+        scene = signs.render_scene(rng, force_sign=True)
+        assert scene.has_sign
+        assert len(scene.boxes) >= 1
+
+    def test_force_sign_false(self):
+        rng = np.random.default_rng(2)
+        scene = signs.render_scene(rng, force_sign=False)
+        assert not scene.has_sign
+        assert scene.boxes == []
+
+    def test_boxes_are_tight_around_red_pixels(self):
+        """The box must contain the sign's dominant red region."""
+        rng = np.random.default_rng(3)
+        scene = signs.render_scene(rng, force_sign=True)
+        x1, y1, x2, y2 = scene.boxes[0]
+        red = scene.image[0] - np.maximum(scene.image[1], scene.image[2])
+        inside = red[int(y1):int(y2), int(x1):int(x2)]
+        assert inside.max() > 0.3  # strongly red inside the box
+
+    def test_box_within_image_bounds(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            scene = signs.render_scene(rng, force_sign=True)
+            for (x1, y1, x2, y2) in scene.boxes:
+                assert 0 <= x1 < x2 <= 64
+                assert 0 <= y1 < y2 <= 64
+
+    def test_sign_masks_match_boxes(self):
+        rng = np.random.default_rng(5)
+        scene = signs.render_scene(rng, force_sign=True)
+        assert len(scene.sign_masks) == len(scene.boxes)
+        for mask, (x1, y1, x2, y2) in zip(scene.sign_masks, scene.boxes):
+            ys, xs = np.nonzero(mask)
+            assert xs.min() >= x1 - 1 and xs.max() <= x2
+            assert ys.min() >= y1 - 1 and ys.max() <= y2
+
+    def test_octagon_mask_geometry(self):
+        ys, xs = np.mgrid[0:64, 0:64].astype(np.float32)
+        mask = signs._octagon_mask(ys, xs, 32, 32, 10)
+        assert mask[32, 32]           # center inside
+        assert not mask[32, 45]       # outside the radius
+        assert not mask[10, 10]
+        # Octagon clips the square's corners: corner of bounding square out.
+        assert not mask[32 - 10, 32 - 10]
+
+    def test_custom_size(self):
+        rng = np.random.default_rng(6)
+        scene = signs.render_scene(rng, size=96, force_sign=True)
+        assert scene.image.shape == (3, 96, 96)
+
+
+class TestSignDataset:
+    def test_len_and_indexing(self):
+        ds = signs.SignDataset(10, seed=0)
+        assert len(ds) == 10
+        assert isinstance(ds[0], signs.SignScene)
+
+    def test_reproducible(self):
+        a = signs.SignDataset(5, seed=42)
+        b = signs.SignDataset(5, seed=42)
+        for scene_a, scene_b in zip(a.scenes, b.scenes):
+            np.testing.assert_array_equal(scene_a.image, scene_b.image)
+            assert scene_a.boxes == scene_b.boxes
+
+    def test_different_seeds_differ(self):
+        a = signs.SignDataset(3, seed=0)
+        b = signs.SignDataset(3, seed=1)
+        assert not np.array_equal(a.scenes[0].image, b.scenes[0].image)
+
+    def test_images_batch_shape(self):
+        ds = signs.SignDataset(4, seed=0)
+        assert ds.images().shape == (4, 3, 64, 64)
+
+    def test_sign_fraction_respected_roughly(self):
+        ds = signs.SignDataset(100, seed=0, sign_fraction=1.0)
+        assert all(s.has_sign for s in ds.scenes)
+        ds0 = signs.SignDataset(100, seed=0, sign_fraction=0.0)
+        assert not any(s.has_sign for s in ds0.scenes)
+
+    def test_subset(self):
+        ds = signs.SignDataset(10, seed=0)
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub[0].image, ds[1].image)

@@ -1,0 +1,105 @@
+"""Image transform unit + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import transforms
+
+
+def random_image(rng, c=3, h=16, w=16):
+    return rng.random((c, h, w)).astype(np.float32)
+
+
+class TestResize:
+    def test_identity_when_same_size(self):
+        rng = np.random.default_rng(0)
+        img = random_image(rng)
+        out = transforms.bilinear_resize(img, 16, 16)
+        np.testing.assert_array_equal(out, img)
+
+    def test_output_shape(self):
+        rng = np.random.default_rng(1)
+        out = transforms.bilinear_resize(random_image(rng), 8, 24)
+        assert out.shape == (3, 8, 24)
+
+    def test_constant_image_preserved(self):
+        img = np.full((3, 10, 10), 0.7, dtype=np.float32)
+        out = transforms.bilinear_resize(img, 5, 20)
+        np.testing.assert_allclose(out, 0.7, atol=1e-6)
+
+    def test_upscale_then_downscale_roughly_identity(self):
+        rng = np.random.default_rng(2)
+        img = transforms.gaussian_blur3(random_image(rng))  # smooth first
+        up = transforms.bilinear_resize(img, 32, 32)
+        back = transforms.bilinear_resize(up, 16, 16)
+        assert np.abs(back - img).mean() < 0.05
+
+    @given(st.integers(2, 40), st.integers(2, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_resize_stays_in_range(self, out_h, out_w):
+        rng = np.random.default_rng(out_h * 100 + out_w)
+        out = transforms.bilinear_resize(random_image(rng), out_h, out_w)
+        assert out.min() >= 0.0 - 1e-6
+        assert out.max() <= 1.0 + 1e-6
+
+
+class TestLetterbox:
+    def test_pads_to_target(self):
+        rng = np.random.default_rng(0)
+        out, scale, (top, left) = transforms.letterbox(
+            random_image(rng, h=8, w=16), 32, 32)
+        assert out.shape == (3, 32, 32)
+        assert scale == pytest.approx(2.0)
+        assert top == (32 - 16) // 2
+
+    def test_fill_value_used(self):
+        img = np.zeros((3, 8, 16), dtype=np.float32)
+        out, _, (top, _) = transforms.letterbox(img, 32, 32, fill=0.25)
+        assert out[0, 0, 0] == pytest.approx(0.25)
+
+
+class TestAugmentations:
+    def test_flip_involution(self):
+        rng = np.random.default_rng(0)
+        img = random_image(rng)
+        np.testing.assert_array_equal(
+            transforms.horizontal_flip(transforms.horizontal_flip(img)), img)
+
+    def test_random_crop_resize_shape_preserved(self):
+        rng = np.random.default_rng(1)
+        img = random_image(rng)
+        out = transforms.random_crop_resize(img, rng)
+        assert out.shape == img.shape
+
+    def test_color_jitter_clips(self):
+        rng = np.random.default_rng(2)
+        img = np.ones((3, 4, 4), dtype=np.float32)
+        out = transforms.color_jitter(img, rng, brightness=2.0, contrast=2.0)
+        assert out.max() <= 1.0 and out.min() >= 0.0
+
+    def test_gaussian_blur_reduces_variance(self):
+        rng = np.random.default_rng(3)
+        img = rng.random((3, 32, 32)).astype(np.float32)
+        out = transforms.gaussian_blur3(img)
+        assert out.var() < img.var()
+
+    def test_blur_preserves_constant(self):
+        img = np.full((1, 8, 8), 0.3, dtype=np.float32)
+        np.testing.assert_allclose(transforms.gaussian_blur3(img), 0.3,
+                                   atol=1e-6)
+
+    def test_simclr_augment_valid_output(self):
+        rng = np.random.default_rng(4)
+        img = random_image(rng)
+        for _ in range(10):
+            out = transforms.simclr_augment(img, rng)
+            assert out.shape == img.shape
+            assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_chw_hwc_roundtrip(self):
+        rng = np.random.default_rng(5)
+        img = random_image(rng)
+        np.testing.assert_array_equal(
+            transforms.to_chw(transforms.to_hwc(img)), img)

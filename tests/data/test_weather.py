@@ -1,0 +1,102 @@
+"""Weather degradations: §III-A's fog / rain / night conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import weather
+
+
+def sample_image(seed=0):
+    return np.random.default_rng(seed).random((3, 32, 32)).astype(np.float32)
+
+
+class TestFog:
+    def test_zero_intensity_near_identity(self):
+        image = sample_image()
+        out = weather.apply_fog(image, intensity=0.0)
+        np.testing.assert_allclose(out, image, atol=1e-6)
+
+    def test_full_intensity_approaches_fog_color(self):
+        image = np.zeros((3, 16, 16), dtype=np.float32)
+        out = weather.apply_fog(image, intensity=1.0)
+        # Top rows (far away) should be nearly fog-colored.
+        np.testing.assert_allclose(out[:, 0, :].mean(axis=-1),
+                                   weather.FOG_COLOR.reshape(3), atol=0.1)
+
+    def test_fog_denser_at_top(self):
+        image = np.zeros((3, 32, 32), dtype=np.float32)
+        out = weather.apply_fog(image, intensity=0.7)
+        assert out[:, 2].mean() > out[:, -3].mean()
+
+    def test_reduces_contrast(self):
+        image = sample_image(1)
+        out = weather.apply_fog(image, intensity=0.8)
+        assert out.std() < image.std()
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValueError):
+            weather.apply_fog(sample_image(), intensity=1.5)
+
+
+class TestRain:
+    def test_adds_streaks(self):
+        image = np.zeros((3, 32, 32), dtype=np.float32)
+        out = weather.apply_rain(image, intensity=0.8,
+                                 rng=np.random.default_rng(0))
+        assert (out > 0.1).sum() > 20  # bright streak pixels appeared
+
+    def test_deterministic_given_rng(self):
+        image = sample_image(2)
+        a = weather.apply_rain(image, 0.5, rng=np.random.default_rng(7))
+        b = weather.apply_rain(image, 0.5, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNight:
+    def test_darkens(self):
+        image = sample_image(3)
+        out = weather.apply_night(image, intensity=0.8,
+                                  rng=np.random.default_rng(0))
+        assert out.mean() < image.mean()
+
+    def test_blue_shift(self):
+        image = np.full((3, 8, 8), 0.5, dtype=np.float32)
+        out = weather.apply_night(image, intensity=0.8,
+                                  rng=np.random.default_rng(0))
+        assert out[2].mean() > out[0].mean()
+
+
+class TestDispatch:
+    @given(st.sampled_from(["fog", "rain", "night"]),
+           st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_output_always_valid(self, kind, intensity):
+        out = weather.apply_weather(sample_image(5), kind, intensity,
+                                    rng=np.random.default_rng(0))
+        assert out.shape == (3, 32, 32)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out.dtype == np.float32
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            weather.apply_weather(sample_image(), "sandstorm")
+
+
+class TestPerceptionUnderWeather:
+    def test_distance_error_grows_with_fog(self):
+        """Heavy fog should degrade the regressor more than clear skies —
+        the sensor-uncertainty framing behind §III-A."""
+        from repro.data.driving import render_frame
+        from repro.models.zoo import get_regressor
+        regressor = get_regressor()
+        rng = np.random.default_rng(0)
+        frames = [render_frame(float(d), rng).image
+                  for d in (8, 12, 16, 25, 35)]
+        clear = np.stack(frames)
+        foggy = np.stack([weather.apply_fog(f, 0.8) for f in frames])
+        truth = np.array([8, 12, 16, 25, 35], dtype=np.float32)
+        clear_err = np.abs(regressor.predict(clear) - truth).mean()
+        fog_err = np.abs(regressor.predict(foggy) - truth).mean()
+        assert fog_err > clear_err

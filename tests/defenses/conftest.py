@@ -1,0 +1,18 @@
+import pytest
+
+from repro.models.zoo import get_detector, get_regressor, get_sign_testset
+
+
+@pytest.fixture(scope="session")
+def detector():
+    return get_detector()
+
+
+@pytest.fixture(scope="session")
+def regressor():
+    return get_regressor()
+
+
+@pytest.fixture(scope="session")
+def sign_scenes():
+    return get_sign_testset(n_scenes=20, seed=222)

@@ -1,0 +1,125 @@
+"""Adversarial training: dataset generation, mixing, and retraining effect.
+
+Training runs here use deliberately tiny budgets — correctness of the
+protocol is under test, not final accuracy (the benchmarks measure that).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSMAttack, GaussianNoiseAttack
+from repro.defenses import (adversarial_train_detector,
+                            adversarial_train_regressor,
+                            generate_adversarial_frames,
+                            generate_adversarial_signs, mixed_adversarial_set,
+                            online_adversarial_train_detector)
+from repro.eval.harness import make_balanced_eval_frames
+
+
+@pytest.fixture(scope="module")
+def small_frames():
+    return make_balanced_eval_frames(n_per_range=3, seed=99)
+
+
+class TestAdversarialDatasetGeneration:
+    def test_signs_shape_and_difference(self, detector, sign_scenes):
+        images = sign_scenes.images()[:6]
+        targets = [s.boxes for s in sign_scenes.scenes[:6]]
+        adv = generate_adversarial_signs(detector, images, targets,
+                                         FGSMAttack(eps=0.03))
+        assert adv.shape == images.shape
+        assert np.abs(adv - images).max() > 0.01
+
+    def test_frames_perturbation_confined_to_lead(self, regressor,
+                                                  small_frames):
+        images, distances, boxes = small_frames
+        adv = generate_adversarial_frames(regressor, images, distances, boxes,
+                                          FGSMAttack(eps=0.05))
+        diff = np.abs(adv - images)
+        for i, box in enumerate(boxes):
+            x1, y1, x2, y2 = box
+            outside = diff[i].copy()
+            outside[:, y1:y2, x1:x2] = 0
+            assert outside.max() <= 1e-6
+
+    def test_batched_generation_matches_unbatched(self, regressor,
+                                                  small_frames):
+        images, distances, boxes = small_frames
+        a = generate_adversarial_frames(regressor, images, distances, boxes,
+                                        FGSMAttack(eps=0.05), batch_size=4)
+        b = generate_adversarial_frames(regressor, images, distances, boxes,
+                                        FGSMAttack(eps=0.05), batch_size=100)
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+class TestMixedSet:
+    def test_fraction_respected(self):
+        rng = np.random.default_rng(0)
+        sets = {name: rng.random((40, 3, 8, 8)).astype(np.float32)
+                for name in ("a", "b", "c", "d")}
+        images, indices = mixed_adversarial_set(sets, fraction=0.25, seed=1)
+        assert len(images) == 40  # 10 from each of 4 sets
+        assert len(indices) == 40
+
+    def test_indices_map_back_to_source(self):
+        rng = np.random.default_rng(0)
+        base = rng.random((20, 3, 4, 4)).astype(np.float32)
+        sets = {"only": base}
+        images, indices = mixed_adversarial_set(sets, fraction=0.5, seed=2)
+        for img, idx in zip(images, indices):
+            np.testing.assert_array_equal(img, base[idx])
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        sets = {"a": rng.random((12, 1, 2, 2)).astype(np.float32)}
+        a = mixed_adversarial_set(sets, seed=7)
+        b = mixed_adversarial_set(sets, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestRetraining:
+    def test_detector_retraining_improves_robustness(self, detector,
+                                                     sign_scenes):
+        from repro.eval import evaluate_detection
+        images = sign_scenes.images()
+        targets = [s.boxes for s in sign_scenes.scenes]
+        attack = FGSMAttack(eps=0.04)
+        adv = generate_adversarial_signs(detector, images, targets, attack)
+        retrained = adversarial_train_detector(
+            adv, targets, clean_images=images, clean_targets=targets,
+            epochs=12, seed=0, init_from=detector)
+        # Evaluate both models on adversarial examples generated vs. base.
+        base_metrics = evaluate_detection(detector, sign_scenes,
+                                          adversarial_images=adv)
+        hardened = evaluate_detection(retrained, sign_scenes,
+                                      adversarial_images=adv)
+        assert hardened.recall > base_metrics.recall
+
+    def test_regressor_retraining_reduces_attack_error(self, regressor,
+                                                       small_frames):
+        from repro.eval import evaluate_distance
+        images, distances, boxes = small_frames
+        attack = FGSMAttack(eps=0.06)
+        adv = generate_adversarial_frames(regressor, images, distances, boxes,
+                                          attack)
+        retrained = adversarial_train_regressor(
+            adv, distances, clean_images=images, clean_distances=distances,
+            epochs=15, seed=0, init_from=regressor)
+        base = evaluate_distance(regressor, images, distances, boxes,
+                                 adversarial_images=adv)
+        hardened = evaluate_distance(retrained, images, distances, boxes,
+                                     adversarial_images=adv)
+        base_err = np.nanmean(np.abs(base.range_errors.as_row()))
+        hard_err = np.nanmean(np.abs(
+            np.array(hardened.attacked_predictions)
+            - np.array(hardened.clean_predictions)))
+        # The retrained model's prediction shift under the same perturbation
+        # must be smaller than the base model's.
+        assert hard_err < base_err
+
+    def test_online_adversarial_training_runs(self, sign_scenes):
+        images = sign_scenes.images()[:8]
+        targets = [s.boxes for s in sign_scenes.scenes[:8]]
+        model = online_adversarial_train_detector(
+            images, targets, FGSMAttack(eps=0.02), epochs=2, batch_size=4)
+        assert model.detect(images[:2]) is not None

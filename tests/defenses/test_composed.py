@@ -1,0 +1,89 @@
+"""Composed and range-adaptive defenses (the Discussion's §VI direction)."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (BitDepthReduction, ComposedDefense,
+                            IdentityDefense, MedianBlur,
+                            RangeAdaptiveDefense, Randomization)
+
+
+def batch(seed=0, n=3):
+    return np.random.default_rng(seed).random((n, 3, 16, 16)).astype(np.float32)
+
+
+class TestComposedDefense:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedDefense([])
+
+    def test_single_equals_inner(self):
+        inner = BitDepthReduction(bits=3)
+        composed = ComposedDefense([inner])
+        x = batch()
+        np.testing.assert_array_equal(composed.purify(x), inner.purify(x))
+
+    def test_order_matters(self):
+        # Blur-then-randomize resamples smoothed pixels; randomize-then-blur
+        # smooths the resampled grid — provably different pipelines.
+        x = batch(seed=1)
+        ab = ComposedDefense([MedianBlur(3), Randomization(seed=5)]).purify(x)
+        ba = ComposedDefense([Randomization(seed=5), MedianBlur(3)]).purify(x)
+        assert not np.array_equal(ab, ba)
+
+    def test_name_lists_parts(self):
+        composed = ComposedDefense([MedianBlur(3), BitDepthReduction(3)])
+        assert "Median" in composed.name and "Bit" in composed.name
+
+    def test_identity_chain_noop(self):
+        x = batch(seed=2)
+        out = ComposedDefense([IdentityDefense(), IdentityDefense()]).purify(x)
+        np.testing.assert_array_equal(out, x)
+
+    def test_composition_applies_both(self):
+        x = batch(seed=3)
+        composed = ComposedDefense([MedianBlur(3), BitDepthReduction(1)])
+        out = composed.purify(x)
+        # Second stage's quantization must be visible in the output.
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+
+class TestRangeAdaptiveDefense:
+    def test_routes_by_probe(self):
+        near_marker = BitDepthReduction(bits=1)     # easy to recognize
+        far_marker = IdentityDefense()
+        probes = iter([10.0, 70.0])
+        defense = RangeAdaptiveDefense(
+            near_marker, far_marker,
+            range_probe=lambda frame: next(probes), threshold_m=40.0)
+        x = batch(seed=4, n=2)
+        out = defense.purify(x)
+        assert set(np.unique(out[0])).issubset({0.0, 1.0})   # near path
+        np.testing.assert_array_equal(out[1], x[1])          # far path
+
+    def test_improves_long_range_over_randomization(self):
+        """The motivating case: randomization near, gentle blur far."""
+        from repro.configs import make_regression_attack
+        from repro.eval import evaluate_distance, make_balanced_eval_frames
+        from repro.models.zoo import get_regressor
+        regressor = get_regressor()
+        images, distances, boxes = make_balanced_eval_frames(n_per_range=6,
+                                                             seed=37)
+        attack = make_regression_attack("Auto-PGD")
+        adaptive = RangeAdaptiveDefense(
+            Randomization(seed=2), MedianBlur(3),
+            range_probe=lambda f: float(regressor.predict(f[None])[0]),
+            threshold_m=40.0)
+        rand_only = Randomization(seed=2)
+        from repro.eval.harness import attack_driving_frames
+        adv = attack_driving_frames(regressor, images, distances, boxes,
+                                    attack)
+        with_adaptive = evaluate_distance(regressor, images, distances, boxes,
+                                          adversarial_images=adv,
+                                          defense=adaptive)
+        with_random = evaluate_distance(regressor, images, distances, boxes,
+                                        adversarial_images=adv,
+                                        defense=rand_only)
+        far_adaptive = abs(with_adaptive.range_errors[(60, 80)])
+        far_random = abs(with_random.range_errors[(60, 80)])
+        assert far_adaptive < far_random

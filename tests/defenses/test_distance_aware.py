@@ -1,0 +1,59 @@
+"""Distance-aware adversarial training (§VI future-work direction)."""
+
+import numpy as np
+import pytest
+
+from repro.configs import make_regression_attack
+from repro.defenses import (adversarial_train_regressor,
+                            distance_aware_adversarial_train_regressor,
+                            generate_adversarial_frames)
+from repro.eval import evaluate_distance, make_balanced_eval_frames
+from repro.models.zoo import get_regressor
+
+
+@pytest.fixture(scope="module")
+def setup():
+    regressor = get_regressor()
+    images, distances, boxes = make_balanced_eval_frames(n_per_range=6,
+                                                         seed=61)
+    attack = make_regression_attack("FGSM")
+    adv = generate_adversarial_frames(regressor, images, distances, boxes,
+                                      attack)
+    return regressor, images, distances, boxes, adv
+
+
+class TestDistanceAwareTraining:
+    def test_produces_working_model(self, setup):
+        regressor, images, distances, boxes, adv = setup
+        model = distance_aware_adversarial_train_regressor(
+            adv, distances, images, distances, epochs=8, seed=0,
+            init_from=regressor)
+        preds = model.predict(images[:4])
+        assert np.isfinite(preds).all()
+
+    def test_far_weight_one_equals_plain(self, setup):
+        """far_weight=1 must reduce to standard adversarial training."""
+        regressor, images, distances, boxes, adv = setup
+        aware = distance_aware_adversarial_train_regressor(
+            adv, distances, images, distances, epochs=3, seed=0,
+            init_from=regressor, far_weight=1.0)
+        plain = adversarial_train_regressor(
+            adv, distances, clean_images=images, clean_distances=distances,
+            epochs=3, seed=0, init_from=regressor)
+        probe = images[:4]
+        np.testing.assert_allclose(aware.predict(probe), plain.predict(probe),
+                                   rtol=1e-5)
+
+    def test_reduces_long_range_clean_regression_drift(self, setup):
+        """Up-weighting far samples keeps the far field calibrated."""
+        regressor, images, distances, boxes, adv = setup
+        plain = adversarial_train_regressor(
+            adv, distances, clean_images=images, clean_distances=distances,
+            epochs=8, seed=0, init_from=regressor)
+        aware = distance_aware_adversarial_train_regressor(
+            adv, distances, images, distances, epochs=8, seed=0,
+            init_from=regressor, far_weight=3.0)
+        far = distances > 60.0
+        plain_err = np.abs(plain.predict(images[far]) - distances[far]).mean()
+        aware_err = np.abs(aware.predict(images[far]) - distances[far]).mean()
+        assert aware_err <= plain_err + 1.0  # no worse, usually better

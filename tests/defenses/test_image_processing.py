@@ -1,0 +1,149 @@
+"""Image-processing defenses: algorithmic properties + defensive effect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defenses import (BitDepthReduction, IdentityDefense, MedianBlur,
+                            Randomization)
+
+
+def rand_batch(seed=0, n=2, c=3, h=16, w=16):
+    return np.random.default_rng(seed).random((n, c, h, w)).astype(np.float32)
+
+
+class TestMedianBlur:
+    def test_removes_salt_and_pepper(self):
+        image = np.full((1, 1, 9, 9), 0.5, dtype=np.float32)
+        image[0, 0, 4, 4] = 1.0  # impulse
+        out = MedianBlur(3).purify(image)
+        assert out[0, 0, 4, 4] == pytest.approx(0.5)
+
+    def test_preserves_constant_regions(self):
+        image = np.full((1, 3, 8, 8), 0.3, dtype=np.float32)
+        np.testing.assert_allclose(MedianBlur(3).purify(image), 0.3)
+
+    def test_preserves_strong_edges(self):
+        image = np.zeros((1, 1, 8, 8), dtype=np.float32)
+        image[0, 0, :, 4:] = 1.0
+        out = MedianBlur(3).purify(image)
+        # Edge position unchanged (medians keep majority value).
+        assert out[0, 0, 4, 2] == 0.0
+        assert out[0, 0, 4, 6] == 1.0
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            MedianBlur(4)
+
+    def test_shape_preserved(self):
+        out = MedianBlur(5).purify(rand_batch())
+        assert out.shape == (2, 3, 16, 16)
+
+
+class TestBitDepthReduction:
+    def test_quantization_levels(self):
+        out = BitDepthReduction(bits=1).purify(rand_batch())
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_three_bits_gives_8_levels(self):
+        out = BitDepthReduction(bits=3).purify(rand_batch(seed=5))
+        assert len(np.unique(out)) <= 8
+
+    def test_idempotent(self):
+        defense = BitDepthReduction(bits=3)
+        once = defense.purify(rand_batch())
+        twice = defense.purify(once)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_kills_small_perturbations(self):
+        defense = BitDepthReduction(bits=2)
+        x = np.full((1, 1, 4, 4), 0.5, dtype=np.float32)
+        perturbed = x + 0.04  # below half the quantization step
+        np.testing.assert_array_equal(defense.purify(x),
+                                      defense.purify(perturbed))
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BitDepthReduction(bits=0)
+        with pytest.raises(ValueError):
+            BitDepthReduction(bits=9)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_output_in_range(self, bits):
+        out = BitDepthReduction(bits=bits).purify(rand_batch(seed=bits))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestRandomization:
+    def test_shape_preserved(self):
+        out = Randomization(seed=0).purify(rand_batch())
+        assert out.shape == (2, 3, 16, 16)
+
+    def test_stochastic_across_calls(self):
+        defense = Randomization(seed=0)
+        a = defense.purify(rand_batch())
+        b = defense.purify(rand_batch())
+        assert not np.array_equal(a, b)
+
+    def test_seeded_reproducible(self):
+        a = Randomization(seed=7).purify(rand_batch())
+        b = Randomization(seed=7).purify(rand_batch())
+        np.testing.assert_array_equal(a, b)
+
+    def test_output_valid_range(self):
+        out = Randomization(seed=1).purify(rand_batch(seed=9))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Randomization(min_scale=0.0)
+
+
+class TestIdentity:
+    def test_noop(self):
+        x = rand_batch()
+        np.testing.assert_array_equal(IdentityDefense().purify(x), x)
+
+
+class TestDefensiveEffect:
+    """End-to-end: defenses must actually mitigate the matching attacks."""
+
+    def test_median_blur_recovers_gaussian_detection(self, detector,
+                                                     sign_scenes):
+        from repro.attacks import GaussianNoiseAttack
+        from repro.eval import evaluate_detection
+        attack = lambda: GaussianNoiseAttack(sigma=0.15, seed=3)
+        undefended = evaluate_detection(detector, sign_scenes, attack=attack())
+        defended = evaluate_detection(detector, sign_scenes, attack=attack(),
+                                      defense=MedianBlur(3))
+        assert defended.map50 > undefended.map50
+
+    def test_bit_depth_roughly_neutral_on_fgsm(self, detector, sign_scenes):
+        """Table II: bit depth changes FGSM detection by only ~1-2 points
+        either way — check it is not catastrophic in either direction."""
+        from repro.attacks import FGSMAttack
+        from repro.eval import evaluate_detection
+        undefended = evaluate_detection(detector, sign_scenes,
+                                        attack=FGSMAttack(eps=0.02))
+        defended = evaluate_detection(detector, sign_scenes,
+                                      attack=FGSMAttack(eps=0.02),
+                                      defense=BitDepthReduction(bits=3))
+        assert abs(defended.recall - undefended.recall) < 20.0
+        assert defended.map50 > 30.0
+
+    def test_randomization_cuts_close_range_regression_error(self, regressor):
+        from repro.attacks import AutoPGDAttack
+        from repro.eval import evaluate_distance, make_balanced_eval_frames
+        images, distances, boxes = make_balanced_eval_frames(n_per_range=6,
+                                                             seed=17)
+        attack = AutoPGDAttack(eps=0.06, n_iter=10, seed=2)
+        undefended = evaluate_distance(regressor, images, distances, boxes,
+                                       attack=attack)
+        attack2 = AutoPGDAttack(eps=0.06, n_iter=10, seed=2)
+        defended = evaluate_distance(regressor, images, distances, boxes,
+                                     attack=attack2,
+                                     defense=Randomization(seed=4))
+        assert (defended.range_errors[(0, 20)]
+                < undefended.range_errors[(0, 20)])

@@ -1,0 +1,14 @@
+import pytest
+
+from repro.models.zoo import get_regressor
+
+
+@pytest.fixture(scope="session")
+def regressor():
+    return get_regressor()
+
+
+@pytest.fixture(scope="session")
+def driving_frames():
+    from repro.eval.harness import make_balanced_eval_frames
+    return make_balanced_eval_frames(n_per_range=6, seed=777)

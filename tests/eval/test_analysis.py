@@ -1,0 +1,89 @@
+"""Attack-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.analysis import (detection_hiding_success_rate,
+                                 perturbation_stats, queries_per_success,
+                                 regression_attack_success_rate)
+from repro.models.detector import Detection
+
+
+class TestPerturbationStats:
+    def test_zero_for_identical(self):
+        x = np.random.default_rng(0).random((2, 3, 4, 4)).astype(np.float32)
+        stats = perturbation_stats(x, x)
+        assert stats.linf == 0.0
+        assert stats.l2_mean == 0.0
+        assert stats.l0_fraction == 0.0
+
+    def test_linf_matches_max(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        y = x.copy()
+        y[0, 0, 0, 0] = 0.25
+        stats = perturbation_stats(x, y)
+        assert stats.linf == pytest.approx(0.25)
+        assert stats.l0_fraction == pytest.approx(0.25)
+
+    def test_l2_per_image_mean(self):
+        x = np.zeros((2, 1, 1, 2), dtype=np.float32)
+        y = x.copy()
+        y[0, 0, 0] = [3.0, 4.0]   # L2 = 5 for image 0, 0 for image 1
+        stats = perturbation_stats(x, y)
+        assert stats.l2_mean == pytest.approx(2.5)
+
+
+class TestRegressionASR:
+    def test_counts_threshold_crossings(self):
+        asr = regression_attack_success_rate([10, 20, 30], [12, 29, 31],
+                                             threshold_m=5.0)
+        assert asr == pytest.approx(1 / 3)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            regression_attack_success_rate([1.0], [1.0, 2.0])
+
+    def test_end_to_end_apgd_high_asr_close_range(self, regressor,
+                                                  driving_frames):
+        from repro.attacks import AutoPGDAttack, boxes_to_mask, \
+            regressor_loss_fn
+        images, distances, boxes = driving_frames
+        close = [i for i, d in enumerate(distances) if d < 20]
+        batch, truth = images[close], distances[close]
+        mask = boxes_to_mask([boxes[i] for i in close], 64, 128)
+        adv = AutoPGDAttack(eps=0.06, n_iter=10, seed=0).perturb(
+            batch, regressor_loss_fn(regressor, truth), mask=mask)
+        asr = regression_attack_success_rate(regressor.predict(batch),
+                                             regressor.predict(adv))
+        assert asr > 0.5
+
+
+class TestDetectionHiding:
+    def test_hidden_sign_counted(self):
+        gt = [[(0, 0, 10, 10)]]
+        clean = [[Detection((0, 0, 10, 10), 0.9)]]
+        attacked = [[]]
+        assert detection_hiding_success_rate(clean, attacked, gt) == 1.0
+
+    def test_still_found_not_counted(self):
+        gt = [[(0, 0, 10, 10)]]
+        clean = [[Detection((0, 0, 10, 10), 0.9)]]
+        attacked = [[Detection((1, 1, 11, 11), 0.7)]]
+        assert detection_hiding_success_rate(clean, attacked, gt) == 0.0
+
+    def test_never_found_excluded_from_denominator(self):
+        gt = [[(0, 0, 10, 10)]]
+        clean = [[]]
+        attacked = [[]]
+        assert detection_hiding_success_rate(clean, attacked, gt) == 0.0
+
+
+class TestQueryEfficiency:
+    def test_basic_ratio(self):
+        from repro.attacks.simba import SimBAResult
+        result = SimBAResult(queries=100, accepted_steps=20)
+        assert queries_per_success(result) == pytest.approx(5.0)
+
+    def test_none_when_no_successes(self):
+        from repro.attacks.simba import SimBAResult
+        assert queries_per_success(SimBAResult(queries=50)) is None

@@ -1,0 +1,105 @@
+"""Detection metric correctness on hand-constructed cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.detection_metrics import (average_precision,
+                                          evaluate_detections,
+                                          match_detections)
+from repro.models.detector import Detection
+
+
+def det(box, score):
+    return Detection(box=box, score=score)
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        flags = match_detections([det((0, 0, 10, 10), 0.9)],
+                                 [(0, 0, 10, 10)])
+        assert flags == [True]
+
+    def test_low_iou_is_fp(self):
+        flags = match_detections([det((0, 0, 10, 10), 0.9)],
+                                 [(8, 8, 20, 20)])
+        assert flags == [False]
+
+    def test_one_gt_matched_once(self):
+        flags = match_detections(
+            [det((0, 0, 10, 10), 0.9), det((0, 0, 10, 10), 0.8)],
+            [(0, 0, 10, 10)])
+        assert sorted(flags) == [False, True]
+
+    def test_highest_score_wins_match(self):
+        flags = match_detections(
+            [det((0, 0, 10, 10), 0.5), det((1, 1, 11, 11), 0.9)],
+            [(0, 0, 10, 10)])
+        # score-ordered: the 0.9 det is considered first
+        assert flags[0] is True
+
+
+class TestAveragePrecision:
+    def test_all_correct_is_100(self):
+        ap = average_precision(np.array([0.9, 0.8]), np.array([True, True]), 2)
+        assert ap == pytest.approx(100.0)
+
+    def test_all_wrong_is_0(self):
+        ap = average_precision(np.array([0.9]), np.array([False]), 2)
+        assert ap == pytest.approx(0.0)
+
+    def test_no_detections_no_gt(self):
+        assert average_precision(np.array([]), np.array([]), 0) == 100.0
+
+    def test_no_detections_with_gt(self):
+        assert average_precision(np.array([]), np.array([]), 3) == 0.0
+
+    def test_half_recall_perfect_precision(self):
+        ap = average_precision(np.array([0.9]), np.array([True]), 2)
+        assert ap == pytest.approx(50.0)
+
+    def test_order_of_scores_matters(self):
+        # TP ranked above FP scores higher AP than FP above TP.
+        good = average_precision(np.array([0.9, 0.5]),
+                                 np.array([True, False]), 1)
+        bad = average_precision(np.array([0.5, 0.9]),
+                                np.array([True, False]), 1)
+        assert good > bad
+
+    @given(st.integers(1, 30), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_ap_bounded(self, n_tp, n_fp):
+        rng = np.random.default_rng(n_tp * 31 + n_fp)
+        scores = rng.random(n_tp + n_fp)
+        flags = np.array([True] * n_tp + [False] * n_fp)
+        ap = average_precision(scores, flags, n_tp)
+        assert 0.0 <= ap <= 100.0 + 1e-9
+
+
+class TestEvaluateDetections:
+    def test_perfect_detector(self):
+        detections = [[det((0, 0, 10, 10), 0.95)]]
+        metrics = evaluate_detections(detections, [[(0, 0, 10, 10)]])
+        assert metrics.map50 == pytest.approx(100.0)
+        assert metrics.precision == pytest.approx(100.0)
+        assert metrics.recall == pytest.approx(100.0)
+
+    def test_miss_hurts_recall_not_precision(self):
+        detections = [[det((0, 0, 10, 10), 0.9)], []]
+        gt = [[(0, 0, 10, 10)], [(20, 20, 30, 30)]]
+        metrics = evaluate_detections(detections, gt)
+        assert metrics.precision == pytest.approx(100.0)
+        assert metrics.recall == pytest.approx(50.0)
+
+    def test_phantom_hurts_precision_not_recall(self):
+        detections = [[det((0, 0, 10, 10), 0.9),
+                       det((40, 40, 50, 50), 0.8)]]
+        metrics = evaluate_detections(detections, [[(0, 0, 10, 10)]])
+        assert metrics.precision == pytest.approx(50.0)
+        assert metrics.recall == pytest.approx(100.0)
+
+    def test_empty_everything(self):
+        metrics = evaluate_detections([[]], [[]])
+        assert metrics.precision == 100.0
+        assert metrics.recall == 100.0

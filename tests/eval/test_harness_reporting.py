@@ -1,0 +1,136 @@
+"""Harness plumbing and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSMAttack, GaussianNoiseAttack
+from repro.defenses import IdentityDefense, MedianBlur
+from repro.eval import (evaluate_detection, evaluate_distance,
+                        make_balanced_eval_frames, reporting)
+from repro.eval.detection_metrics import DetectionMetrics
+from repro.eval.regression_metrics import range_binned_errors
+from repro.models.zoo import get_detector, get_regressor, get_sign_testset
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return get_detector()
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    return get_regressor()
+
+
+@pytest.fixture(scope="module")
+def small_signs():
+    return get_sign_testset(n_scenes=16, seed=31)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return make_balanced_eval_frames(n_per_range=4, seed=31)
+
+
+class TestDetectionHarness:
+    def test_no_attack_equals_clean(self, detector, small_signs):
+        clean = evaluate_detection(detector, small_signs)
+        again = evaluate_detection(detector, small_signs, attack=None)
+        assert clean.map50 == again.map50
+
+    def test_identity_defense_changes_nothing(self, detector, small_signs):
+        a = evaluate_detection(detector, small_signs,
+                               attack=GaussianNoiseAttack(sigma=0.1, seed=1))
+        b = evaluate_detection(detector, small_signs,
+                               attack=GaussianNoiseAttack(sigma=0.1, seed=1),
+                               defense=IdentityDefense())
+        assert a.map50 == pytest.approx(b.map50)
+
+    def test_attack_degrades_detection(self, detector, small_signs):
+        clean = evaluate_detection(detector, small_signs)
+        attacked = evaluate_detection(detector, small_signs,
+                                      attack=FGSMAttack(eps=0.05))
+        assert attacked.recall < clean.recall
+
+    def test_adversarial_images_shortcircuit(self, detector, small_signs):
+        images = small_signs.images()
+        result = evaluate_detection(detector, small_signs,
+                                    adversarial_images=images)
+        clean = evaluate_detection(detector, small_signs)
+        assert result.map50 == pytest.approx(clean.map50)
+
+    def test_defense_helps_against_noise(self, detector, small_signs):
+        attack = GaussianNoiseAttack(sigma=0.15, seed=5)
+        undefended = evaluate_detection(detector, small_signs, attack=attack)
+        attack2 = GaussianNoiseAttack(sigma=0.15, seed=5)
+        defended = evaluate_detection(detector, small_signs, attack=attack2,
+                                      defense=MedianBlur(3))
+        assert defended.map50 >= undefended.map50
+
+
+class TestDistanceHarness:
+    def test_no_attack_zero_error(self, regressor, frames):
+        images, distances, boxes = frames
+        result = evaluate_distance(regressor, images, distances, boxes)
+        for value in result.range_errors.errors.values():
+            assert value == pytest.approx(0.0, abs=1e-5)
+
+    def test_attack_produces_positive_close_range_error(self, regressor,
+                                                        frames):
+        images, distances, boxes = frames
+        result = evaluate_distance(regressor, images, distances, boxes,
+                                   attack=FGSMAttack(eps=0.06))
+        assert result.range_errors[(0, 20)] > 1.0
+
+    def test_balanced_frames_cover_all_ranges(self, frames):
+        _, distances, _ = frames
+        for low, high in ((0, 20), (20, 40), (40, 60), (60, 80)):
+            count = ((distances >= low) & (distances < high)).sum()
+            assert count == 4
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = reporting.format_table(["a", "bbb"], [["1", "2"], ["33", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_table1_contains_attacks(self):
+        errors = range_binned_errors([5, 25, 45, 65], [0] * 4, [1, 2, 3, 4])
+        out = reporting.table1({"FGSM": errors})
+        assert "FGSM" in out and "TABLE I" in out
+        assert "+1.00" in out
+
+    def test_fig2_format(self):
+        m = DetectionMetrics(map50=88.5, precision=97.0, recall=85.2)
+        out = reporting.fig2({"Clean": m})
+        assert "88.50" in out and "97.00" in out
+
+    def test_combined_table_handles_missing(self):
+        m = DetectionMetrics(map50=90.0, precision=95.0, recall=88.0)
+        out = reporting.combined_table(
+            [("FGSM", "None", None, m)], title="TABLE II")
+        assert "TABLE II" in out
+        assert "-" in out
+
+    def test_table4(self):
+        m = DetectionMetrics(map50=90.0, precision=95.0, recall=88.0)
+        out = reporting.table4([("FGSM", "Clean", m)])
+        assert "TABLE IV" in out
+
+
+class TestVideoEvaluation:
+    def test_video_protocol_runs_and_orders_cap_state(self, regressor):
+        """CAP on a continuous video accumulates; clean video has ~0 error."""
+        from repro.attacks import CAPAttack
+        from repro.data.driving import generate_video
+        from repro.eval import evaluate_distance_on_video
+        video = generate_video(24, seed=5, initial_distance=15.0)
+        clean = evaluate_distance_on_video(regressor, video)
+        for value in clean.range_errors.errors.values():
+            assert value == pytest.approx(0.0, abs=1e-5)
+        attacked = evaluate_distance_on_video(
+            regressor, video, attack=CAPAttack(eps=0.10, steps_per_frame=2))
+        close = attacked.range_errors.errors.get((0, 20))
+        assert close is not None and close > 2.0

@@ -1,0 +1,75 @@
+"""Range-binned error metric correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.regression_metrics import (RANGES, bin_index,
+                                           mean_absolute_error,
+                                           range_binned_errors)
+
+
+class TestBinIndex:
+    def test_bins(self):
+        assert bin_index(5.0) == (0, 20)
+        assert bin_index(20.0) == (20, 40)
+        assert bin_index(79.9) == (60, 80)
+        assert bin_index(80.0) == (60, 80)  # inclusive top edge
+
+    def test_out_of_range(self):
+        assert bin_index(95.0) is None
+        assert bin_index(-1.0) is None
+
+
+class TestRangeBinnedErrors:
+    def test_signed_mean_per_bin(self):
+        truths = [10.0, 15.0, 30.0]
+        clean = [10.0, 15.0, 30.0]
+        attacked = [12.0, 18.0, 25.0]
+        result = range_binned_errors(truths, clean, attacked)
+        assert result[(0, 20)] == pytest.approx(2.5)   # (+2 +3)/2
+        assert result[(20, 40)] == pytest.approx(-5.0)
+
+    def test_counts_tracked(self):
+        result = range_binned_errors([5, 6, 25], [0, 0, 0], [1, 1, 1])
+        assert result.counts[(0, 20)] == 2
+        assert result.counts[(20, 40)] == 1
+
+    def test_as_row_nan_for_empty_bins(self):
+        result = range_binned_errors([5.0], [0.0], [1.0])
+        row = result.as_row()
+        assert row[0] == pytest.approx(1.0)
+        assert np.isnan(row[1]) and np.isnan(row[2]) and np.isnan(row[3])
+
+    def test_out_of_range_samples_ignored(self):
+        result = range_binned_errors([100.0, 5.0], [0, 0], [50, 1])
+        assert (0, 20) in result.errors
+        assert len(result.errors) == 1
+
+    def test_zero_attack_zero_error(self):
+        preds = [7.0, 33.0, 55.0, 71.0]
+        result = range_binned_errors([7, 33, 55, 71], preds, preds)
+        for r in RANGES:
+            assert result[r] == 0.0
+
+    @given(st.lists(st.tuples(
+        st.floats(1.0, 79.0), st.floats(0.0, 90.0), st.floats(0.0, 90.0)),
+        min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_error_bounded_by_extremes(self, samples):
+        truths = [s[0] for s in samples]
+        clean = [s[1] for s in samples]
+        attacked = [s[2] for s in samples]
+        result = range_binned_errors(truths, clean, attacked)
+        diffs = [a - c for c, a in zip(clean, attacked)]
+        for value in result.errors.values():
+            assert min(diffs) - 1e-9 <= value <= max(diffs) + 1e-9
+
+
+class TestMAE:
+    def test_basic(self):
+        assert mean_absolute_error([1.0, 3.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_zero_for_perfect(self):
+        assert mean_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0

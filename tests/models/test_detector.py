@@ -1,0 +1,124 @@
+"""TinyDetector: decoding, NMS, loss, and trained-model quality."""
+
+import numpy as np
+import pytest
+
+from repro.models import TinyDetector, box_iou, nms
+from repro.models.detector import Detection
+from repro.nn import Tensor
+
+
+class TestBoxIoU:
+    def test_identical_boxes(self):
+        assert box_iou((0, 0, 10, 10), (0, 0, 10, 10)) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert box_iou((0, 0, 5, 5), (10, 10, 20, 20)) == 0.0
+
+    def test_half_overlap(self):
+        iou = box_iou((0, 0, 10, 10), (5, 0, 15, 10))
+        assert iou == pytest.approx(50 / 150)
+
+    def test_degenerate_box(self):
+        assert box_iou((5, 5, 5, 5), (0, 0, 10, 10)) == 0.0
+
+    def test_symmetry(self):
+        a, b = (0, 0, 8, 6), (3, 2, 12, 9)
+        assert box_iou(a, b) == pytest.approx(box_iou(b, a))
+
+
+class TestNMS:
+    def test_keeps_highest_score_of_cluster(self):
+        dets = [Detection((0, 0, 10, 10), 0.9),
+                Detection((1, 1, 11, 11), 0.8),
+                Detection((30, 30, 40, 40), 0.7)]
+        kept = nms(dets, iou_threshold=0.45)
+        assert len(kept) == 2
+        assert kept[0].score == 0.9
+        assert kept[1].box == (30, 30, 40, 40)
+
+    def test_empty_input(self):
+        assert nms([]) == []
+
+    def test_no_suppression_below_threshold(self):
+        dets = [Detection((0, 0, 10, 10), 0.9),
+                Detection((8, 8, 18, 18), 0.8)]
+        assert len(nms(dets, iou_threshold=0.45)) == 2
+
+
+class TestForwardAndDecode:
+    def test_raw_output_shape(self):
+        model = TinyDetector(rng=np.random.default_rng(0))
+        out = model(Tensor(np.zeros((2, 3, 64, 64), dtype=np.float32)))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_decode_threshold_filters(self):
+        model = TinyDetector(rng=np.random.default_rng(0))
+        raw = np.full((1, 5, 8, 8), -10.0, dtype=np.float32)  # all obj ~ 0
+        assert model.decode(raw, conf_threshold=0.5) == [[]]
+
+    def test_decode_single_cell(self):
+        model = TinyDetector(rng=np.random.default_rng(0))
+        raw = np.full((1, 5, 8, 8), -10.0, dtype=np.float32)
+        raw[0, 0, 3, 4] = 10.0      # objectness ~ 1 at cell (3,4)
+        raw[0, 1:3, 3, 4] = 0.0     # centered offsets (sigmoid -> 0.5)
+        raw[0, 3:5, 3, 4] = 0.0     # size = anchor
+        dets = model.decode(raw, conf_threshold=0.5)[0]
+        assert len(dets) == 1
+        cx = (4 + 0.5) * model.stride
+        cy = (3 + 0.5) * model.stride
+        x1, y1, x2, y2 = dets[0].box
+        assert (x1 + x2) / 2 == pytest.approx(cx)
+        assert (y1 + y2) / 2 == pytest.approx(cy)
+        assert x2 - x1 == pytest.approx(model.anchor)
+
+    def test_loss_decreases_with_training_signal(self):
+        """One gradient step on a single image reduces its loss."""
+        from repro.nn import Adam
+        model = TinyDetector(rng=np.random.default_rng(1))
+        images = np.random.default_rng(0).random((2, 3, 64, 64)).astype(np.float32)
+        targets = [[(20.0, 20.0, 36.0, 36.0)], []]
+        opt = Adam(model.parameters(), lr=1e-3)
+        first = model.loss(Tensor(images), targets)
+        first.backward()
+        opt.step()
+        second = model.loss(Tensor(images), targets)
+        assert second.item() < first.item()
+
+    def test_suppression_loss_only_counts_positive_cells(self):
+        model = TinyDetector(rng=np.random.default_rng(0))
+        images = np.zeros((1, 3, 64, 64), dtype=np.float32)
+        no_sign = model.suppression_loss(Tensor(images), [[]])
+        assert no_sign.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_detect_runs_in_eval_mode_and_restores(self, detector):
+        detector.train()
+        detector.detect(np.zeros((1, 3, 64, 64), dtype=np.float32))
+        assert detector.training
+        detector.eval()
+
+
+class TestTrainedDetectorQuality:
+    def test_clean_map_above_90(self, detector, sign_scenes):
+        from repro.eval import evaluate_detection
+        metrics = evaluate_detection(detector, sign_scenes)
+        assert metrics.map50 > 90.0
+        assert metrics.precision > 90.0
+        assert metrics.recall > 85.0
+
+    def test_detects_most_signs(self, detector, sign_scenes):
+        detections = detector.detect(sign_scenes.images())
+        n_signs = sum(len(s.boxes) for s in sign_scenes.scenes)
+        n_hits = 0
+        for dets, scene in zip(detections, sign_scenes.scenes):
+            for gt in scene.boxes:
+                if any(box_iou(d.box, gt) >= 0.5 for d in dets):
+                    n_hits += 1
+        assert n_hits / max(1, n_signs) > 0.85
+
+    def test_no_detections_on_empty_scenes_mostly(self, detector):
+        from repro.data.signs import SignDataset
+        empty = SignDataset(20, seed=2024, sign_fraction=0.0)
+        detections = detector.detect(empty.images())
+        false_positives = sum(len(d) for d in detections)
+        assert false_positives <= 4  # a few decoy confusions allowed

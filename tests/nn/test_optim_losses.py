@@ -1,0 +1,199 @@
+"""Optimizers must actually optimize, and losses must match reference math."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, losses, optim
+
+
+def quadratic_minimize(optimizer_factory, steps=200):
+    """Minimize ||x - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+    x = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+    opt = optimizer_factory([x])
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((x - Tensor(target)) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return float(np.abs(x.data - target).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert quadratic_minimize(lambda p: optim.SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert quadratic_minimize(lambda p: optim.SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert quadratic_minimize(lambda p: optim.Adam(p, lr=0.1)) < 1e-2
+
+    def test_adamw_converges(self):
+        assert quadratic_minimize(
+            lambda p: optim.AdamW(p, lr=0.1, weight_decay=1e-4)) < 1e-2
+
+    def test_weight_decay_shrinks_weights(self):
+        x = Tensor(np.full(3, 10.0, dtype=np.float32), requires_grad=True)
+        opt = optim.SGD([x], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (x * 0.0).sum().backward()
+        opt.step()
+        assert np.all(np.abs(x.data) < 10.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_step_skips_params_without_grad(self):
+        x = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        opt = optim.Adam([x], lr=0.1)
+        opt.step()  # no grad yet -> no change, no crash
+        np.testing.assert_array_equal(x.data, [1.0, 1.0])
+
+
+class TestSchedules:
+    def test_cosine_decays_to_min(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = optim.SGD([x], lr=1.0)
+        sched = optim.CosineSchedule(opt, total_steps=10, min_lr=0.1)
+        last = [sched.step() for _ in range(10)][-1]
+        assert last == pytest.approx(0.1, abs=1e-6)
+
+    def test_cosine_warmup_ramps(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = optim.SGD([x], lr=1.0)
+        sched = optim.CosineSchedule(opt, total_steps=20, warmup_steps=5)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs == sorted(lrs)
+        assert lrs[-1] == pytest.approx(1.0)
+
+    def test_step_schedule(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = optim.SGD([x], lr=1.0)
+        sched = optim.StepSchedule(opt, step_size=2, gamma=0.5)
+        sched.step(), sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_clip_grad_norm(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.grad = np.full(4, 10.0, dtype=np.float32)
+        pre = optim.clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0, rel=1e-5)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        loss = losses.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        loss = losses.cross_entropy(Tensor(logits), labels)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[np.arange(2), labels]).mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_gradient_is_probs_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]], dtype=np.float32),
+                        requires_grad=True)
+        losses.cross_entropy(logits, np.array([2])).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        expected = probs.copy()
+        expected[0, 2] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-5)
+
+    def test_bce_with_logits_stable_at_extremes(self):
+        logits = Tensor(np.array([100.0, -100.0], dtype=np.float32))
+        loss = losses.bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_bce_with_logits_matches_manual(self):
+        z = np.array([0.3, -1.2, 2.0], dtype=np.float32)
+        y = np.array([1.0, 0.0, 1.0], dtype=np.float32)
+        loss = losses.bce_with_logits(Tensor(z), y)
+        p = 1 / (1 + np.exp(-z))
+        expected = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-4)
+
+    def test_smooth_l1_quadratic_and_linear_regimes(self):
+        pred = Tensor(np.array([0.5, 3.0], dtype=np.float32))
+        loss = losses.smooth_l1_loss(pred, np.array([0.0, 0.0]), beta=1.0,
+                                     reduction="none")
+        np.testing.assert_allclose(loss.data, [0.125, 2.5], rtol=1e-5)
+
+    def test_info_nce_identical_views_low_loss(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(8, 16)).astype(np.float32)
+        aligned = losses.info_nce(Tensor(z), Tensor(z), temperature=0.05)
+        shuffled = losses.info_nce(Tensor(z), Tensor(z[::-1].copy()),
+                                   temperature=0.05)
+        assert aligned.item() < shuffled.item()
+
+    def test_info_nce_margin_increases_loss(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 8)).astype(np.float32)
+        b = a + 0.1 * rng.normal(size=(6, 8)).astype(np.float32)
+        plain = losses.info_nce(Tensor(a), Tensor(b), margin=0.0)
+        margined = losses.info_nce(Tensor(a), Tensor(b), margin=0.5)
+        assert margined.item() > plain.item()
+
+    def test_reduction_modes(self):
+        pred = Tensor(np.ones(4, dtype=np.float32))
+        none = losses.mse_loss(pred, np.zeros(4), reduction="none")
+        assert none.shape == (4,)
+        total = losses.mse_loss(pred, np.zeros(4), reduction="sum")
+        assert total.item() == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            losses.mse_loss(pred, np.zeros(4), reduction="bogus")
+
+
+class TestEndToEndTraining:
+    def test_small_mlp_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float32)
+        y = np.array([0, 1, 1, 0])
+        model = nn.Sequential(
+            nn.Linear(2, 16, rng=rng), nn.Tanh(),
+            nn.Linear(16, 2, rng=rng),
+        )
+        opt = optim.Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = losses.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        preds = model(Tensor(x)).data.argmax(axis=1)
+        np.testing.assert_array_equal(preds, y)
+
+    def test_small_cnn_learns_to_separate(self):
+        rng = np.random.default_rng(0)
+        # Class 0: bright top half; class 1: bright bottom half.
+        n = 32
+        x = np.zeros((n, 1, 8, 8), dtype=np.float32)
+        y = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            if i % 2 == 0:
+                x[i, 0, :4] = 1.0
+            else:
+                x[i, 0, 4:] = 1.0
+                y[i] = 1
+        x += rng.normal(0, 0.05, size=x.shape).astype(np.float32)
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.MaxPool2d(2), nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 2, rng=rng),
+        )
+        opt = optim.Adam(model.parameters(), lr=0.01)
+        for _ in range(60):
+            opt.zero_grad()
+            loss = losses.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        accuracy = (model(Tensor(x)).data.argmax(axis=1) == y).mean()
+        assert accuracy == 1.0

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) on the autodiff core and data structs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+finite_floats = st.floats(-10.0, 10.0, allow_nan=False, width=32)
+
+
+def small_arrays(min_dims=1, max_dims=3):
+    return arrays(np.float32,
+                  array_shapes(min_dims=min_dims, max_dims=max_dims,
+                               min_side=1, max_side=5),
+                  elements=finite_floats)
+
+
+class TestAlgebraicProperties:
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, x):
+        a = Tensor(x)
+        b = Tensor(x[::-1].copy() if x.ndim == 1 else x)
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation(self, x):
+        t = Tensor(x)
+        np.testing.assert_array_equal((-(-t)).data, x)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_exp_log_roundtrip(self, x):
+        t = Tensor(np.abs(x) + 0.5)
+        np.testing.assert_allclose(t.log().exp().data, t.data, rtol=1e-4)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, x):
+        t = Tensor(x)
+        once = t.relu()
+        twice = once.relu()
+        np.testing.assert_array_equal(once.data, twice.data)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_range(self, x):
+        out = Tensor(x).sigmoid().data
+        assert (out > 0).all() and (out < 1).all()
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_distribution(self, x):
+        if x.ndim == 0:
+            return
+        probs = F.softmax(Tensor(x), axis=-1).data
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-4)
+        assert (probs >= 0).all()
+
+
+class TestGradientLinearity:
+    @given(small_arrays(min_dims=2, max_dims=2),
+           st.floats(0.125, 5.0, allow_nan=False, width=32))
+    @settings(max_examples=30, deadline=None)
+    def test_grad_scales_linearly(self, x, scale):
+        """d(c*f)/dx == c * df/dx for linear-in-output scaling."""
+        t1 = Tensor(x.copy(), requires_grad=True)
+        (t1 * t1).sum().backward()
+        t2 = Tensor(x.copy(), requires_grad=True)
+        (Tensor(np.float32(scale)) * (t2 * t2)).sum().backward()
+        np.testing.assert_allclose(t2.grad, scale * t1.grad, rtol=1e-3,
+                                   atol=1e-4)
+
+    @given(small_arrays(min_dims=1, max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_grad_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(small_arrays(min_dims=2, max_dims=2))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_rule_through_reshape(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t.reshape(-1) ** 2).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * x, rtol=1e-4, atol=1e-5)
+
+
+class TestConvInvariances:
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(4, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_conv_linear_in_input(self, n, c, hw):
+        rng = np.random.default_rng(n * 100 + c * 10 + hw)
+        x = rng.normal(size=(n, c, hw, hw)).astype(np.float32)
+        w = Tensor(rng.normal(size=(2, c, 3, 3)).astype(np.float32))
+        out1 = F.conv2d(Tensor(x), w, None, padding=1).data
+        out2 = F.conv2d(Tensor(2 * x), w, None, padding=1).data
+        np.testing.assert_allclose(out2, 2 * out1, rtol=1e-3, atol=1e-4)
+
+    @given(st.integers(4, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_avg_pool_preserves_mean(self, hw):
+        hw = hw - hw % 2  # even
+        if hw < 4:
+            hw = 4
+        rng = np.random.default_rng(hw)
+        x = rng.normal(size=(1, 1, hw, hw)).astype(np.float32)
+        pooled = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(pooled.mean(), x.mean(), rtol=1e-3,
+                                   atol=1e-5)
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_upsample_then_avgpool_identity(self, scale):
+        rng = np.random.default_rng(scale)
+        x = rng.normal(size=(1, 2, 3, 3)).astype(np.float32)
+        up = F.upsample_nearest2d(Tensor(x), scale)
+        back = F.avg_pool2d(up, scale).data
+        np.testing.assert_allclose(back, x, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,84 @@
+"""Edge cases of the tensor API that the gradient checks don't touch."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.optim import SGD
+
+
+class TestTensorAPI:
+    def test_repr_shows_shape(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert "shape=(2, 3)" in repr(t)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_numpy_shares_buffer(self):
+        t = Tensor(np.zeros(3))
+        t.numpy()[0] = 7.0
+        assert t.data[0] == 7.0
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert t.data[0] == 5.0  # shared buffer by design
+
+    def test_clone_copies_data_and_keeps_graph(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        c = t.clone()
+        c.data[0] = 9.0
+        assert t.data[0] == 1.0
+        c.sum().backward()
+        assert t.grad is not None
+
+    def test_rsub_rtruediv(self):
+        t = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        (10.0 - t).backward()
+        np.testing.assert_allclose(t.grad, [-1.0])
+        t2 = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        (8.0 / t2).backward()
+        np.testing.assert_allclose(t2.grad, [-2.0])
+
+    def test_pow_non_scalar_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** np.ones(2)
+
+    def test_flatten_from_dim(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.flatten(start_dim=1).shape == (2, 12)
+
+    def test_size_property(self):
+        assert Tensor(np.zeros((2, 5))).size == 10
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        t.sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_constant_tensors_skip_graph(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(np.ones(3))
+        out = a + b
+        assert not out.requires_grad
+        assert out._parents == ()
+
+
+class TestOptimizerEdge:
+    def test_lr_mutable_between_steps(self):
+        t = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = SGD([t], lr=1.0)
+        t.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert t.data[0] == pytest.approx(0.0)
+        opt.lr = 0.5
+        t.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert t.data[0] == pytest.approx(-0.5)

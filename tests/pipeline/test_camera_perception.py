@@ -1,0 +1,83 @@
+"""Camera sensor model and perception service."""
+
+import numpy as np
+import pytest
+
+from repro.data.driving import MAX_DISTANCE
+from repro.defenses import MedianBlur
+from repro.models.zoo import get_regressor
+from repro.pipeline import Camera, PerceptionService
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    return get_regressor()
+
+
+class TestCamera:
+    def test_capture_shape(self):
+        camera = Camera(seed=0)
+        frame = camera.capture(20.0)
+        assert frame.image.shape == (3, 64, 128)
+        assert frame.lead_box is not None
+        assert frame.true_distance == 20.0
+
+    def test_empty_road(self):
+        camera = Camera(seed=0)
+        frame = camera.capture(None)
+        assert frame.lead_box is None
+
+    def test_beyond_range_is_empty(self):
+        camera = Camera(seed=0)
+        frame = camera.capture(MAX_DISTANCE + 50.0)
+        assert frame.lead_box is None
+        assert frame.true_distance is None
+
+    def test_sensor_noise_varies_frames(self):
+        camera = Camera(seed=0, noise_sigma=0.02)
+        a = camera.capture(20.0).image
+        b = camera.capture(20.0).image
+        assert not np.array_equal(a, b)
+
+    def test_images_valid_range(self):
+        camera = Camera(seed=3, exposure_jitter=0.1)
+        for d in (5.0, 40.0, None):
+            image = camera.capture(d).image
+            assert image.min() >= 0.0 and image.max() <= 1.0
+
+
+class TestPerceptionService:
+    def test_detects_near_lead(self, regressor):
+        camera = Camera(seed=1)
+        service = PerceptionService(regressor)
+        frame = camera.capture(15.0)
+        output = service.process(frame.image)
+        assert output.distance is not None
+        assert abs(output.distance - 15.0) < 6.0
+
+    def test_reports_no_lead_on_empty_road(self, regressor):
+        camera = Camera(seed=2)
+        service = PerceptionService(regressor)
+        frame = camera.capture(None)
+        output = service.process(frame.image)
+        # Regressor saturates near MAX_DISTANCE on empty roads.
+        assert output.distance is None or output.distance > 60.0
+
+    def test_defense_flag_set(self, regressor):
+        camera = Camera(seed=3)
+        service = PerceptionService(regressor, defense=MedianBlur(3))
+        output = service.process(camera.capture(20.0).image)
+        assert output.defended
+
+    def test_defended_perception_still_accurate(self, regressor):
+        camera = Camera(seed=4)
+        plain = PerceptionService(regressor)
+        defended = PerceptionService(regressor, defense=MedianBlur(3))
+        errors_plain, errors_defended = [], []
+        for d in (10.0, 15.0, 25.0):
+            frame = camera.capture(d)
+            errors_plain.append(abs(plain.process(frame.image).raw_distance - d))
+            errors_defended.append(
+                abs(defended.process(frame.image).raw_distance - d))
+        # Blur augmentation at training time keeps the defended path usable.
+        assert np.mean(errors_defended) < np.mean(errors_plain) + 3.0

@@ -1,0 +1,93 @@
+"""Closed-loop simulation: nominal following, attack impact, AEB rescue."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CAPAttack
+from repro.models.zoo import get_regressor
+from repro.pipeline import (ClosedLoopSimulator, ScenarioConfig,
+                            make_cap_runtime_attack)
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    return get_regressor()
+
+
+def steady_follow_scenario(duration=20.0):
+    return ScenarioConfig(duration_s=duration, initial_gap_m=50.0,
+                          ego_speed=28.0, lead_speed=26.0)
+
+
+class TestNominalOperation:
+    def test_no_collision_clean(self, regressor):
+        sim = ClosedLoopSimulator(regressor, seed=1)
+        result = sim.run(steady_follow_scenario())
+        assert not result.collided
+        assert result.min_distance > 5.0
+
+    def test_converges_toward_desired_gap(self, regressor):
+        sim = ClosedLoopSimulator(regressor, seed=1)
+        result = sim.run(steady_follow_scenario(duration=40.0))
+        final = result.ticks[-1]
+        desired = sim.planner.desired_gap(final.ego_speed)
+        assert final.true_distance == pytest.approx(desired, rel=0.5)
+
+    def test_perception_accurate_in_loop(self, regressor):
+        sim = ClosedLoopSimulator(regressor, seed=1)
+        result = sim.run(steady_follow_scenario())
+        assert result.perception_errors().mean() < 5.0
+
+    def test_lead_braking_handled(self, regressor):
+        def lead_profile(t):
+            return 26.0 if t < 8.0 else 18.0  # lead slows sharply
+
+        scenario = ScenarioConfig(duration_s=25.0, initial_gap_m=45.0,
+                                  ego_speed=28.0, lead_speed=26.0,
+                                  lead_profile=lead_profile)
+        sim = ClosedLoopSimulator(regressor, seed=2)
+        result = sim.run(scenario)
+        assert not result.collided
+
+    def test_log_completeness(self, regressor):
+        sim = ClosedLoopSimulator(regressor, seed=1)
+        scenario = steady_follow_scenario(duration=5.0)
+        result = sim.run(scenario)
+        assert len(result.ticks) == int(5.0 / scenario.dt)
+        tick = result.ticks[10]
+        assert tick.true_distance > 0
+        assert np.isfinite(tick.ego_speed)
+
+
+class TestUnderAttack:
+    def test_cap_attack_shrinks_min_distance(self, regressor):
+        scenario = steady_follow_scenario(duration=25.0)
+        clean = ClosedLoopSimulator(regressor, seed=3).run(scenario)
+        sim = ClosedLoopSimulator(regressor, seed=3, enable_safety=False)
+        attacked = sim.run(scenario, attack=make_cap_runtime_attack(
+            CAPAttack(eps=0.10, steps_per_frame=2)))
+        assert (attacked.collided or
+                attacked.min_distance < clean.min_distance - 2.0)
+
+    def test_cap_attack_inflates_perceived_distance(self, regressor):
+        scenario = steady_follow_scenario(duration=15.0)
+        sim = ClosedLoopSimulator(regressor, seed=4, enable_safety=False)
+        result = sim.run(scenario, attack=make_cap_runtime_attack(
+            CAPAttack(eps=0.10, steps_per_frame=2)))
+        # Perceived distance should exceed the truth once the patch settles.
+        late = result.ticks[len(result.ticks) // 2:]
+        gaps = [t.perceived_distance - t.true_distance for t in late
+                if t.perceived_distance is not None]
+        assert np.mean(gaps) > 2.0
+
+    def test_safety_monitor_mitigates_attack(self, regressor):
+        scenario = steady_follow_scenario(duration=25.0)
+        attack_factory = lambda: make_cap_runtime_attack(
+            CAPAttack(eps=0.12, steps_per_frame=3))
+        unsafe = ClosedLoopSimulator(regressor, seed=5,
+                                     enable_safety=False).run(
+            scenario, attack=attack_factory())
+        safe = ClosedLoopSimulator(regressor, seed=5,
+                                   enable_safety=True).run(
+            scenario, attack=attack_factory())
+        assert safe.min_distance >= unsafe.min_distance - 1e-6

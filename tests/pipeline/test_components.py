@@ -1,0 +1,188 @@
+"""Unit tests for each pipeline component: vehicle, tracker, ACC, safety."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import (ACCConfig, ACCPlanner, LeadKalmanFilter,
+                            SafetyConfig, SafetyLevel, SafetyMonitor, Vehicle,
+                            VehicleState)
+
+
+class TestVehicle:
+    def test_accelerates_toward_command(self):
+        car = Vehicle()
+        car.state = VehicleState(speed=10.0)
+        for _ in range(100):
+            car.step(1.0, 0.05)
+        assert car.state.speed > 13.0
+
+    def test_never_reverses(self):
+        car = Vehicle()
+        car.state = VehicleState(speed=1.0)
+        for _ in range(100):
+            car.step(-6.0, 0.05)
+        assert car.state.speed == 0.0
+
+    def test_command_clamped_to_limits(self):
+        car = Vehicle(max_accel=2.0)
+        car.step(50.0, 0.05)
+        assert car.state.acceleration <= 2.0
+
+    def test_actuator_lag_smooths(self):
+        car = Vehicle(actuator_tau=0.5)
+        car.step(2.0, 0.05)
+        assert car.state.acceleration < 2.0  # hasn't reached command yet
+
+    def test_position_integrates_speed(self):
+        car = Vehicle(actuator_tau=1e-9)
+        car.state = VehicleState(speed=10.0)
+        for _ in range(20):
+            car.step(0.0, 0.05)
+        assert car.state.position == pytest.approx(10.0, rel=0.05)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            Vehicle().step(0.0, 0.0)
+
+
+class TestKalmanFilter:
+    def test_converges_to_constant_measurement(self):
+        kf = LeadKalmanFilter()
+        kf.reset(50.0)
+        for _ in range(50):
+            estimate = kf.step(30.0, 0.05)
+        assert estimate.distance == pytest.approx(30.0, abs=1.0)
+
+    def test_estimates_relative_speed(self):
+        kf = LeadKalmanFilter()
+        kf.reset(50.0)
+        distance = 50.0
+        for _ in range(100):
+            distance -= 2.0 * 0.05  # closing at 2 m/s
+            estimate = kf.step(distance, 0.05)
+        assert estimate.relative_speed == pytest.approx(-2.0, abs=0.5)
+
+    def test_coasts_through_dropouts(self):
+        kf = LeadKalmanFilter()
+        kf.reset(40.0)
+        for _ in range(30):
+            kf.step(40.0, 0.05)
+        before = kf.estimate().distance
+        for _ in range(10):
+            estimate = kf.step(None, 0.05)  # no measurement
+        assert estimate.distance == pytest.approx(before, abs=2.0)
+
+    def test_variance_grows_without_measurements(self):
+        kf = LeadKalmanFilter()
+        kf.reset(40.0)
+        kf.step(40.0, 0.05)
+        v0 = kf.estimate().variance
+        for _ in range(20):
+            kf.step(None, 0.05)
+        assert kf.estimate().variance > v0
+
+    def test_smooths_single_frame_outlier(self):
+        """A one-frame adversarial spike is heavily attenuated."""
+        kf = LeadKalmanFilter()
+        kf.reset(30.0)
+        for _ in range(50):
+            kf.step(30.0, 0.05)
+        spiked = kf.step(80.0, 0.05)
+        assert spiked.distance < 40.0  # the 50 m spike is mostly rejected
+
+    def test_tracks_persistent_attack(self):
+        """A *sustained* spoof eventually wins — the CAP-Attack premise."""
+        kf = LeadKalmanFilter()
+        kf.reset(30.0)
+        for _ in range(50):
+            kf.step(30.0, 0.05)
+        for _ in range(100):
+            estimate = kf.step(80.0, 0.05)
+        assert estimate.distance > 80.0 - 10.0
+
+    @given(st.floats(5.0, 80.0))
+    @settings(max_examples=20, deadline=None)
+    def test_steady_state_unbiased(self, distance):
+        kf = LeadKalmanFilter()
+        kf.reset(distance)
+        for _ in range(80):
+            estimate = kf.step(distance, 0.05)
+        assert estimate.distance == pytest.approx(distance, abs=0.5)
+
+
+class TestACCPlanner:
+    def test_cruise_when_no_lead(self):
+        planner = ACCPlanner(ACCConfig(cruise_speed=30.0))
+        assert planner.plan(20.0, None) > 0.0
+        assert planner.plan(35.0, None) < 0.0
+
+    def test_brakes_when_too_close(self):
+        planner = ACCPlanner()
+        gap = planner.desired_gap(28.0)
+        assert planner.plan(28.0, gap * 0.5, 0.0) < 0.0
+
+    def test_accelerates_when_gap_large_below_cruise(self):
+        planner = ACCPlanner(ACCConfig(cruise_speed=30.0))
+        assert planner.plan(20.0, 100.0, 0.0) > 0.0
+
+    def test_closing_speed_induces_braking(self):
+        planner = ACCPlanner()
+        gap = planner.desired_gap(28.0)
+        neutral = planner.plan(28.0, gap, 0.0)
+        closing = planner.plan(28.0, gap, -5.0)
+        assert closing < neutral
+
+    def test_never_exceeds_cruise_response(self):
+        """With a lead present, accel never exceeds the cruise command."""
+        planner = ACCPlanner(ACCConfig(cruise_speed=30.0))
+        with_lead = planner.plan(29.5, 200.0, 5.0)
+        cruise = planner.plan(29.5, None)
+        assert with_lead <= cruise + 1e-9
+
+    def test_output_bounded(self):
+        planner = ACCPlanner()
+        for gap in (1.0, 10.0, 100.0):
+            for rel in (-10.0, 0.0, 10.0):
+                accel = planner.plan(28.0, gap, rel)
+                assert (planner.config.max_planned_decel <= accel
+                        <= planner.config.max_planned_accel)
+
+
+class TestSafetyMonitor:
+    def test_ttc_computation(self):
+        assert SafetyMonitor.time_to_collision(40.0, 10.0) == pytest.approx(4.0)
+        assert SafetyMonitor.time_to_collision(40.0, -1.0) == float("inf")
+
+    def test_nominal_when_far(self):
+        monitor = SafetyMonitor()
+        assert monitor.assess(0.0, 100.0, 5.0) is SafetyLevel.NOMINAL
+
+    def test_fcw_band(self):
+        monitor = SafetyMonitor(SafetyConfig(fcw_ttc_s=4.0, aeb_ttc_s=2.0))
+        assert monitor.assess(0.0, 30.0, 10.0) is SafetyLevel.WARNING  # 3 s
+
+    def test_aeb_band(self):
+        monitor = SafetyMonitor(SafetyConfig(fcw_ttc_s=4.0, aeb_ttc_s=2.0))
+        assert monitor.assess(0.0, 10.0, 10.0) is SafetyLevel.EMERGENCY
+
+    def test_events_logged(self):
+        monitor = SafetyMonitor()
+        monitor.assess(1.0, 10.0, 10.0)
+        assert len(monitor.events) == 1
+        assert monitor.events[0].time_s == 1.0
+
+    def test_no_ttc_when_opening(self):
+        monitor = SafetyMonitor()
+        assert monitor.assess(0.0, 5.0, -2.0) is SafetyLevel.NOMINAL
+
+    def test_override_only_on_emergency(self):
+        monitor = SafetyMonitor()
+        assert monitor.override_acceleration(SafetyLevel.EMERGENCY, 1.0) == \
+            monitor.config.aeb_decel
+        assert monitor.override_acceleration(SafetyLevel.WARNING, 1.0) == 1.0
+
+    def test_none_distance_nominal(self):
+        monitor = SafetyMonitor()
+        assert monitor.assess(0.0, None, 10.0) is SafetyLevel.NOMINAL

@@ -1,0 +1,38 @@
+"""Standard attack configurations used by all benchmarks."""
+
+import pytest
+
+from repro import configs
+from repro.attacks import Attack
+
+
+class TestAttackFactories:
+    @pytest.mark.parametrize("name", list(configs.DETECTION_ATTACKS))
+    def test_detection_factories_build(self, name):
+        attack = configs.make_detection_attack(name)
+        assert isinstance(attack, Attack)
+
+    @pytest.mark.parametrize("name", list(configs.REGRESSION_ATTACKS))
+    def test_regression_factories_build(self, name):
+        attack = configs.make_regression_attack(name)
+        assert isinstance(attack, Attack)
+
+    def test_factories_return_fresh_instances(self):
+        a = configs.make_detection_attack("Gaussian Noise")
+        b = configs.make_detection_attack("Gaussian Noise")
+        assert a is not b
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            configs.make_detection_attack("Nope")
+
+    def test_paired_rows_reference_real_attacks(self):
+        for row_name, regression, detection in configs.PAIRED_ATTACK_ROWS:
+            assert regression in configs.REGRESSION_ATTACKS
+            assert detection in configs.DETECTION_ATTACKS
+
+    def test_budget_asymmetry_documented(self):
+        """The Fig. 2 shape depends on APGD's small detection budget."""
+        apgd = configs.make_detection_attack("Auto-PGD")
+        fgsm = configs.make_detection_attack("FGSM")
+        assert apgd.eps < fgsm.eps

@@ -1,0 +1,95 @@
+"""Cross-module integration: full attack -> defense -> evaluation circuits."""
+
+import numpy as np
+import pytest
+
+from repro.configs import make_detection_attack, make_regression_attack
+from repro.defenses import MedianBlur
+from repro.eval import (evaluate_detection, evaluate_distance,
+                        make_balanced_eval_frames)
+from repro.models.zoo import (get_detector, get_regressor, get_sign_testset)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return get_detector()
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    return get_regressor()
+
+
+class TestFullDetectionCircuit:
+    def test_attack_then_defense_ordering(self, detector):
+        """clean >= defended-attacked >= attacked must hold for a defense
+        matched to its attack (median blur vs noise)."""
+        scenes = get_sign_testset(n_scenes=30, seed=12)
+        clean = evaluate_detection(detector, scenes)
+        attacked = evaluate_detection(
+            detector, scenes, attack=make_detection_attack("Gaussian Noise"))
+        defended = evaluate_detection(
+            detector, scenes, attack=make_detection_attack("Gaussian Noise"),
+            defense=MedianBlur(3))
+        assert clean.map50 >= defended.map50 - 3.0
+        assert defended.map50 > attacked.map50
+
+    def test_every_standard_attack_runs_end_to_end(self, detector):
+        scenes = get_sign_testset(n_scenes=10, seed=13)
+        from repro.configs import DETECTION_ATTACKS
+        for name in DETECTION_ATTACKS:
+            metrics = evaluate_detection(detector, scenes,
+                                         attack=make_detection_attack(name))
+            assert 0.0 <= metrics.map50 <= 100.0
+
+
+class TestFullRegressionCircuit:
+    def test_every_standard_attack_runs_end_to_end(self, regressor):
+        images, distances, boxes = make_balanced_eval_frames(n_per_range=3,
+                                                             seed=14)
+        from repro.configs import REGRESSION_ATTACKS
+        for name in REGRESSION_ATTACKS:
+            result = evaluate_distance(regressor, images, distances, boxes,
+                                       attack=make_regression_attack(name))
+            row = result.range_errors.as_row()
+            assert all(np.isfinite(v) for v in row)
+
+    def test_attack_transfer_between_models(self, regressor):
+        """Perturbations built vs one regressor transfer imperfectly to a
+        differently-seeded one (standard transferability sanity)."""
+        from repro.models.zoo import get_regressor as get
+        other = get(seed=1, n_frames=300, epochs=8)
+        images, distances, boxes = make_balanced_eval_frames(n_per_range=4,
+                                                             seed=15)
+        attack = make_regression_attack("Auto-PGD")
+        own = evaluate_distance(regressor, images, distances, boxes,
+                                attack=attack)
+        attack2 = make_regression_attack("Auto-PGD")
+        transferred = evaluate_distance(other, images, distances, boxes,
+                                        attack=attack2,
+                                        attack_model=regressor)
+        own_close = own.range_errors[(0, 20)]
+        transfer_close = transferred.range_errors[(0, 20)]
+        # White-box should be at least as strong as transfer.
+        assert own_close >= transfer_close - 2.0
+
+
+class TestSeededReproducibility:
+    def test_detection_grid_deterministic(self, detector):
+        scenes = get_sign_testset(n_scenes=10, seed=16)
+        a = evaluate_detection(detector, scenes,
+                               attack=make_detection_attack("FGSM"))
+        b = evaluate_detection(detector, scenes,
+                               attack=make_detection_attack("FGSM"))
+        assert a.map50 == b.map50
+        assert a.recall == b.recall
+
+    def test_regression_grid_deterministic(self, regressor):
+        images, distances, boxes = make_balanced_eval_frames(n_per_range=3,
+                                                             seed=17)
+        a = evaluate_distance(regressor, images, distances, boxes,
+                              attack=make_regression_attack("Auto-PGD"))
+        b = evaluate_distance(regressor, images, distances, boxes,
+                              attack=make_regression_attack("Auto-PGD"))
+        np.testing.assert_array_equal(a.attacked_predictions,
+                                      b.attacked_predictions)

@@ -1,0 +1,99 @@
+"""Visualization helpers and the CLI."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def rand_image(seed=0, h=8, w=8):
+    return np.random.default_rng(seed).random((3, h, w)).astype(np.float32)
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path):
+        image = rand_image()
+        path = str(tmp_path / "img.ppm")
+        viz.write_ppm(path, image)
+        back = viz.read_ppm(path)
+        np.testing.assert_allclose(back, image, atol=1 / 255.0 + 1e-6)
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "bogus.ppm"
+        path.write_bytes(b"JUNK")
+        with pytest.raises(ValueError):
+            viz.read_ppm(str(path))
+
+    def test_to_uint8_clips(self):
+        image = np.array([[[-0.5]], [[0.5]], [[1.5]]], dtype=np.float32)
+        out = viz.to_uint8(image)
+        assert out[0, 0, 0] == 0 and out[0, 0, 2] == 255
+
+
+class TestDrawing:
+    def test_draw_box_outline_only(self):
+        image = np.zeros((3, 10, 10), dtype=np.float32)
+        out = viz.draw_box(image, (2, 2, 7, 7), color=(1, 0, 0))
+        assert out[0, 2, 4] == 1.0      # top edge
+        assert out[0, 4, 2] == 1.0      # left edge
+        assert out[0, 4, 4] == 0.0      # interior untouched
+        assert image.sum() == 0.0       # original unmodified
+
+    def test_draw_box_clips_to_frame(self):
+        image = np.zeros((3, 8, 8), dtype=np.float32)
+        out = viz.draw_box(image, (-5, -5, 20, 20))
+        assert out.shape == image.shape
+
+    def test_hstack_widths_add(self):
+        a, b = rand_image(1, 8, 5), rand_image(2, 8, 7)
+        out = viz.hstack_images([a, b], gap=2)
+        assert out.shape == (3, 8, 5 + 2 + 7)
+
+    def test_hstack_empty_raises(self):
+        with pytest.raises(ValueError):
+            viz.hstack_images([])
+
+    def test_amplify_difference_midgray_when_equal(self):
+        image = rand_image(3)
+        out = viz.amplify_difference(image, image)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_attack_panel_written(self, tmp_path):
+        clean = rand_image(4, 8, 8)
+        adv = np.clip(clean + 0.05, 0, 1)
+        path = viz.save_attack_panel(str(tmp_path / "panel.ppm"), clean, adv)
+        assert os.path.exists(path)
+        panel = viz.read_ppm(path)
+        assert panel.shape[2] >= 3 * 8  # three stacked panels
+
+    def test_dataset_examples(self, tmp_path):
+        paths = viz.save_dataset_examples(str(tmp_path))
+        assert len(paths) == 2
+        for path in paths:
+            image = viz.read_ppm(path)
+            assert image.shape[0] == 3
+
+
+class TestCLI:
+    def test_parser_choices_cover_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig1_writes_outputs(self, tmp_path, capsys):
+        assert main(["fig1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1.txt").exists()
+        assert (tmp_path / "fig1_sign_scene.ppm").exists()
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
