@@ -24,11 +24,30 @@ def record_result(name: str, table: str) -> None:
 
 
 def pytest_terminal_summary(terminalreporter):
-    if not _RESULTS:
+    if _RESULTS:
+        terminalreporter.section("reproduced tables & figures")
+        for name in sorted(_RESULTS):
+            terminalreporter.write_line("")
+            terminalreporter.write_line(f"### {name}")
+            for line in _RESULTS[name].splitlines():
+                terminalreporter.write_line(line)
+    _runtime_summary(terminalreporter)
+
+
+def _runtime_summary(terminalreporter):
+    """Print grid timings + nn pass counters; write BENCH_runtime.json."""
+    try:
+        from repro.runtime.instrument import (BENCH_PATH_ENV, export_bench,
+                                              get_instrumentation)
+    except ImportError:  # repro not importable (PYTHONPATH=src missing)
         return
-    terminalreporter.section("reproduced tables & figures")
-    for name in sorted(_RESULTS):
-        terminalreporter.write_line("")
-        terminalreporter.write_line(f"### {name}")
-        for line in _RESULTS[name].splitlines():
-            terminalreporter.write_line(line)
+    instrumentation = get_instrumentation()
+    if not (instrumentation.cells or instrumentation.scopes):
+        return
+    terminalreporter.section("runtime instrumentation")
+    for line in instrumentation.render().splitlines():
+        terminalreporter.write_line(line)
+    path = os.environ.get(BENCH_PATH_ENV) or os.path.join(
+        RESULTS_DIR, "BENCH_runtime.json")
+    terminalreporter.write_line(
+        f"runtime telemetry written to {export_bench(path)}")

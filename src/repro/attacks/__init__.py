@@ -16,8 +16,8 @@ adapters from :mod:`repro.attacks.base`.
 """
 
 from .autopgd import AutoPGDAttack, PGDAttack
-from .base import (Attack, BatchLossAdapter, LossFn, boxes_to_mask,
-                   detector_loss_fn, full_mask, input_gradient,
+from .base import (Attack, BatchLossAdapter, LossFn, attack_fingerprint,
+                   boxes_to_mask, detector_loss_fn, full_mask, input_gradient,
                    regressor_loss_fn, slice_loss_fn,
                    targeted_regressor_loss_fn)
 from .cap import CAPAttack
@@ -27,7 +27,8 @@ from .rp2 import RP2Attack
 from .simba import SimBAAttack, SimBAResult
 
 __all__ = [
-    "Attack", "BatchLossAdapter", "LossFn", "boxes_to_mask", "full_mask",
+    "Attack", "BatchLossAdapter", "LossFn", "attack_fingerprint",
+    "boxes_to_mask", "full_mask",
     "input_gradient", "slice_loss_fn",
     "detector_loss_fn", "regressor_loss_fn", "targeted_regressor_loss_fn",
     "GaussianNoiseAttack", "FGSMAttack", "AutoPGDAttack", "PGDAttack",

@@ -48,6 +48,7 @@ class AutoPGDAttack(Attack):
         self.n_iter = int(n_iter)
         self.momentum = float(momentum)
         self.random_start = random_start
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
 
     def _project(self, x_adv: np.ndarray, x: np.ndarray,
@@ -126,6 +127,7 @@ class PGDAttack(Attack):
         self.eps = float(eps)
         self.n_iter = int(n_iter)
         self.step = step if step is not None else eps / 4.0
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
 
     def perturb(self, images: np.ndarray, loss_fn: LossFn,

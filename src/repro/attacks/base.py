@@ -14,6 +14,7 @@ CAP-Attack/Table I, or the sign surface for RP2.
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from typing import Callable, Optional, Sequence
 
@@ -41,6 +42,19 @@ class Attack(ABC):
         return f"{type(self).__name__}()"
 
 
+def attack_fingerprint(attack: Attack) -> str:
+    """Deterministic description of an attack's class and hyperparameters.
+
+    Used as a result-cache key component: adversarial batches cached under
+    one budget must not be served after the budget changes in ``configs.py``.
+    Captures every simple-typed public attribute (eps, n_iter, seed, ...).
+    """
+    params = {key: value for key, value in vars(attack).items()
+              if not key.startswith("_")
+              and isinstance(value, (bool, int, float, str, tuple))}
+    return f"{type(attack).__name__}:{json.dumps(params, sort_keys=True)}"
+
+
 def full_mask(images: np.ndarray) -> np.ndarray:
     return np.ones_like(images[:, :1])
 
@@ -53,17 +67,21 @@ def boxes_to_mask(boxes: Sequence[Optional[Sequence[float]]],
     those images pass through the attack unchanged.
     """
     n = len(boxes)
-    mask = np.zeros((n, 1, height, width), dtype=np.float32)
-    for i, box in enumerate(boxes):
-        if box is None:
-            continue
-        x1, y1, x2, y2 = box
-        x1 = int(np.clip(np.floor(x1), 0, width))
-        x2 = int(np.clip(np.ceil(x2), 0, width))
-        y1 = int(np.clip(np.floor(y1), 0, height))
-        y2 = int(np.clip(np.ceil(y2), 0, height))
-        mask[i, 0, y1:y2, x1:x2] = 1.0
-    return mask
+    if n == 0:
+        return np.zeros((0, 1, height, width), dtype=np.float32)
+    # None boxes become zero-area (x1 == x2) and rasterize to all-zeros.
+    coords = np.array([box if box is not None else (0.0, 0.0, 0.0, 0.0)
+                       for box in boxes], dtype=np.float64)
+    x1 = np.clip(np.floor(coords[:, 0]), 0, width)[:, None]
+    y1 = np.clip(np.floor(coords[:, 1]), 0, height)[:, None]
+    x2 = np.clip(np.ceil(coords[:, 2]), 0, width)[:, None]
+    y2 = np.clip(np.ceil(coords[:, 3]), 0, height)[:, None]
+    rows = np.arange(height, dtype=np.float64)
+    cols = np.arange(width, dtype=np.float64)
+    row_hit = (rows >= y1) & (rows < y2)                      # (N, H)
+    col_hit = (cols >= x1) & (cols < x2)                      # (N, W)
+    mask = (row_hit[:, None, :, None] & col_hit[:, None, None, :])
+    return mask.astype(np.float32)
 
 
 class BatchLossAdapter:

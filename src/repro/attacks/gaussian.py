@@ -24,6 +24,7 @@ class GaussianNoiseAttack(Attack):
         if sigma < 0:
             raise ValueError("sigma must be non-negative")
         self.sigma = float(sigma)
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
 
     def perturb(self, images: np.ndarray, loss_fn: Optional[LossFn] = None,

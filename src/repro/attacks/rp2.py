@@ -71,6 +71,7 @@ class RP2Attack(Attack):
         # *bands* of the sign face, not its whole surface.
         self.eps = float(eps)
         self.sticker_bands = bool(sticker_bands)
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
 
     @staticmethod

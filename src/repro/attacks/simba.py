@@ -45,6 +45,7 @@ class SimBAAttack(Attack):
         self.max_queries = int(max_queries)
         self.basis = basis
         self.dct_fraction = dct_fraction
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
         self.last_result: Optional[SimBAResult] = None
 

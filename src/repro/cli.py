@@ -8,9 +8,13 @@
     python -m repro all                  # everything (first run trains
                                          # defense variants; cached after)
     python -m repro fig1 --out results/  # write Fig. 1 example images
+    python -m repro table1 --workers 4   # fan grid cells over 4 processes
+    python -m repro table1 --no-cache    # recompute, ignore the result cache
 
 Results print to stdout and are also written under ``--out`` (default
-``results/``).
+``results/``).  Every run also writes ``BENCH_runtime.json`` (per-cell
+wall-clock + nn pass counters) under ``--out`` and prints the runtime
+summary table.
 """
 
 from __future__ import annotations
@@ -21,6 +25,9 @@ import sys
 from typing import Callable, Dict
 
 from . import experiments, viz
+from .runtime import cache_enabled, export_bench, get_instrumentation
+from .runtime.cache import CACHE_TOGGLE_ENV
+from .runtime.parallel import WORKERS_ENV
 
 Runner = Callable[[argparse.Namespace], str]
 
@@ -105,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="driving frames per distance range")
     parser.add_argument("--out", default="results",
                         help="directory for rendered outputs")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for experiment grids "
+                             f"(default: ${WORKERS_ENV} or CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache (recompute everything)")
     return parser
 
 
@@ -116,6 +128,12 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("  all")
         return 0
+    # Runtime knobs propagate via env so every GridRunner (and any forked
+    # worker) sees them without threading arguments through each experiment.
+    if args.workers is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+    if args.no_cache:
+        os.environ[CACHE_TOGGLE_ENV] = "0"
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     os.makedirs(args.out, exist_ok=True)
     for name in names:
@@ -125,6 +143,13 @@ def main(argv=None) -> int:
         path = os.path.join(args.out, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(output + "\n")
+    instrumentation = get_instrumentation()
+    if instrumentation.cells or instrumentation.scopes:
+        print(instrumentation.render())
+        bench_path = export_bench(os.path.join(args.out, "BENCH_runtime.json"))
+        print(f"runtime telemetry written to {bench_path}")
+        if not cache_enabled():
+            print("(result cache disabled for this run)")
     return 0
 
 

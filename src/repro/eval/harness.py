@@ -20,13 +20,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..attacks.base import (Attack, boxes_to_mask, detector_loss_fn,
-                            regressor_loss_fn)
+from ..attacks.base import (Attack, attack_fingerprint, boxes_to_mask,
+                            detector_loss_fn, regressor_loss_fn)
 from ..attacks.cap import CAPAttack
 from ..data.signs import SignDataset
 from ..defenses.base import InputDefense
 from ..models.detector import TinyDetector
 from ..models.distance import DistanceRegressor
+from ..nn.serialize import state_fingerprint
+from ..runtime import cache as result_cache
+from ..runtime.instrument import scope
 from .detection_metrics import DetectionMetrics, evaluate_detections
 from .regression_metrics import RangeErrors, range_binned_errors
 
@@ -65,13 +68,38 @@ def attack_sign_dataset(model: TinyDetector, dataset: SignDataset,
             for sign_mask in scene.sign_masks:
                 masks[i, 0] = np.maximum(masks[i, 0],
                                          sign_mask.astype(np.float32))
-    for start in range(0, len(images), batch_size):
-        stop = min(start + batch_size, len(images))
-        loss_fn = detector_loss_fn(model, targets[start:stop])
-        batch_mask = None if masks is None else masks[start:stop]
-        out[start:stop] = attack.perturb(images[start:stop], loss_fn,
-                                         mask=batch_mask)
+    with scope("harness.attack_generation"):
+        for start in range(0, len(images), batch_size):
+            stop = min(start + batch_size, len(images))
+            loss_fn = detector_loss_fn(model, targets[start:stop])
+            batch_mask = None if masks is None else masks[start:stop]
+            out[start:stop] = attack.perturb(images[start:stop], loss_fn,
+                                             mask=batch_mask)
     return out
+
+
+def cached_attack_sign_dataset(model: TinyDetector, dataset: SignDataset,
+                               attack: Optional[Attack],
+                               cache: Optional[result_cache.ResultCache] = None
+                               ) -> np.ndarray:
+    """:func:`attack_sign_dataset` behind the content-addressed result cache.
+
+    Keyed by the dataset content, the model's weights, and the attack's
+    class + hyperparameters, so Tables II–IV and Fig. 2 share one stored
+    adversarial copy per (model, test set, attack) instead of regenerating
+    identical batches.
+    """
+    if attack is None:
+        return dataset.images()
+    if cache is None:
+        cache = result_cache.default_cache()
+    images = dataset.images()
+    config = {"data": result_cache.array_fingerprint(images),
+              "model": state_fingerprint(model),
+              "attack": attack_fingerprint(attack), "v": 1}
+    return cache.memo_array(
+        "adv-signs", config,
+        lambda: attack_sign_dataset(model, dataset, attack))
 
 
 def evaluate_detection(model: TinyDetector, dataset: SignDataset,
@@ -90,8 +118,13 @@ def evaluate_detection(model: TinyDetector, dataset: SignDataset,
     if adversarial_images is None:
         generator = attack_model if attack_model is not None else model
         adversarial_images = attack_sign_dataset(generator, dataset, attack)
-    defended = defense.purify(adversarial_images) if defense else adversarial_images
-    detections = model.detect(defended, conf_threshold=conf_threshold)
+    if defense:
+        with scope("harness.defense_purify"):
+            defended = defense.purify(adversarial_images)
+    else:
+        defended = adversarial_images
+    with scope("harness.model_inference"):
+        detections = model.detect(defended, conf_threshold=conf_threshold)
     # Geometric defenses (randomization's resize+pad) move image content;
     # map detections back into the original frame before IoU matching.
     if defense is not None and hasattr(defense, "map_box_to_original"):
@@ -118,22 +151,45 @@ def attack_driving_frames(model: DistanceRegressor, images: np.ndarray,
     if attack is None:
         return images
     height, width = images.shape[2], images.shape[3]
-    if isinstance(attack, CAPAttack):
-        # CAP is a *runtime* attack: its patch accumulates over frames.  The
-        # paper measures it on continuous video where the patch is warm, so
-        # run one warm-up pass over the sequence before the recorded pass.
-        attack.reset()
-        loss_fns = [regressor_loss_fn(model, distances[i:i + 1])
-                    for i in range(len(images))]
-        attack.perturb_sequence(images, loss_fns, list(boxes))
-        return attack.perturb_sequence(images, loss_fns, list(boxes))
-    out = np.empty_like(images)
-    for start in range(0, len(images), batch_size):
-        stop = min(start + batch_size, len(images))
-        mask = boxes_to_mask(list(boxes[start:stop]), height, width)
-        loss_fn = regressor_loss_fn(model, distances[start:stop])
-        out[start:stop] = attack.perturb(images[start:stop], loss_fn, mask=mask)
+    with scope("harness.attack_generation"):
+        if isinstance(attack, CAPAttack):
+            # CAP is a *runtime* attack: its patch accumulates over frames.
+            # The paper measures it on continuous video where the patch is
+            # warm, so run one warm-up pass over the sequence before the
+            # recorded pass.
+            attack.reset()
+            loss_fns = [regressor_loss_fn(model, distances[i:i + 1])
+                        for i in range(len(images))]
+            attack.perturb_sequence(images, loss_fns, list(boxes))
+            return attack.perturb_sequence(images, loss_fns, list(boxes))
+        out = np.empty_like(images)
+        for start in range(0, len(images), batch_size):
+            stop = min(start + batch_size, len(images))
+            mask = boxes_to_mask(list(boxes[start:stop]), height, width)
+            loss_fn = regressor_loss_fn(model, distances[start:stop])
+            out[start:stop] = attack.perturb(images[start:stop], loss_fn,
+                                             mask=mask)
     return out
+
+
+def cached_attack_driving_frames(model: DistanceRegressor,
+                                 images: np.ndarray, distances: np.ndarray,
+                                 boxes: Sequence[Optional[Tuple]],
+                                 attack: Optional[Attack],
+                                 cache: Optional[result_cache.ResultCache] = None
+                                 ) -> np.ndarray:
+    """:func:`attack_driving_frames` behind the result cache (cf.
+    :func:`cached_attack_sign_dataset`)."""
+    if attack is None:
+        return images
+    if cache is None:
+        cache = result_cache.default_cache()
+    config = {"data": result_cache.array_fingerprint(images),
+              "model": state_fingerprint(model),
+              "attack": attack_fingerprint(attack), "v": 1}
+    return cache.memo_array(
+        "adv-frames", config,
+        lambda: attack_driving_frames(model, images, distances, boxes, attack))
 
 
 def evaluate_distance(model: DistanceRegressor, images: np.ndarray,
@@ -145,14 +201,19 @@ def evaluate_distance(model: DistanceRegressor, images: np.ndarray,
                       adversarial_images: Optional[np.ndarray] = None
                       ) -> DistanceEvaluation:
     """Range-binned attack-induced error on driving frames (Table I shape)."""
-    clean_predictions = model.predict(images)
+    with scope("harness.model_inference"):
+        clean_predictions = model.predict(images)
     if adversarial_images is None:
         generator = attack_model if attack_model is not None else model
         adversarial_images = attack_driving_frames(generator, images,
                                                    distances, boxes, attack)
-    defended = (defense.purify(adversarial_images) if defense
-                else adversarial_images)
-    attacked_predictions = model.predict(defended)
+    if defense:
+        with scope("harness.defense_purify"):
+            defended = defense.purify(adversarial_images)
+    else:
+        defended = adversarial_images
+    with scope("harness.model_inference"):
+        attacked_predictions = model.predict(defended)
     errors = range_binned_errors(distances, clean_predictions,
                                  attacked_predictions)
     return DistanceEvaluation(range_errors=errors,

@@ -8,13 +8,17 @@
   at equal iteration budgets.
 * **DiffPIR steps** — restoration quality vs runtime, the trade-off the
   Discussion says needs optimizing for real-time use.
+
+All sweeps except the DiffPIR one run as grid cells (parallel + cached);
+the DiffPIR sweep measures wall-clock per frame, so it stays serial and
+uncached — a cache hit would report a meaningless 0 ms.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,6 +29,8 @@ from ..defenses.diffusion import DiffPIRDefense
 from ..eval.harness import evaluate_distance, make_balanced_eval_frames
 from ..eval.reporting import format_table
 from ..models.zoo import get_diffusion, get_regressor
+from ..nn.serialize import state_fingerprint
+from ..runtime import GridRunner, stable_seed
 
 
 # ----------------------------------------------------------------------
@@ -36,11 +42,15 @@ class PatchSizeRow:
 
 
 def patch_size_sweep(distances=(5, 10, 15, 20, 30, 40, 60, 80),
-                     n_frames: int = 8, eps: float = 0.06) -> List[PatchSizeRow]:
+                     n_frames: int = 8, eps: float = 0.06,
+                     workers: Optional[int] = None) -> List[PatchSizeRow]:
     regressor = get_regressor()
-    rng = np.random.default_rng(5)
-    rows: List[PatchSizeRow] = []
-    for distance in distances:
+    model_fp = state_fingerprint(regressor)
+
+    def cell(distance: float):
+        # Per-distance RNG so cells are independent of execution order.
+        rng = np.random.default_rng(stable_seed("ablation-patch", distance,
+                                                base=5))
         frames, boxes = [], []
         for _ in range(n_frames):
             frame = render_frame(float(distance), rng)
@@ -55,9 +65,16 @@ def patch_size_sweep(distances=(5, 10, 15, 20, 30, 40, 60, 80),
         clean_pred = regressor.predict(images)
         adv_pred = regressor.predict(adv)
         area = int(np.mean([(b[2] - b[0]) * (b[3] - b[1]) for b in boxes]))
-        rows.append(PatchSizeRow(float(distance), area,
-                                 float((adv_pred - clean_pred).mean())))
-    return rows
+        return (area, float((adv_pred - clean_pred).mean()))
+
+    grid = GridRunner("ablation-patch", workers=workers)
+    for distance in distances:
+        grid.add(("patch", distance), lambda d=distance: cell(float(d)),
+                 config={"distance": float(distance), "n_frames": n_frames,
+                         "eps": eps, "model": model_fp, "v": 2})
+    results = grid.run()
+    return [PatchSizeRow(float(d), *results[("patch", d)])
+            for d in distances]
 
 
 def render_patch_size(rows: List[PatchSizeRow]) -> str:
@@ -76,20 +93,35 @@ class PGDComparisonRow:
     close_range_error_m: float
 
 
-def apgd_vs_pgd(iteration_budgets=(5, 10, 20), n_per_range: int = 8
-                ) -> List[PGDComparisonRow]:
+def apgd_vs_pgd(iteration_budgets=(5, 10, 20), n_per_range: int = 8,
+                workers: Optional[int] = None) -> List[PGDComparisonRow]:
     regressor = get_regressor()
+    model_fp = state_fingerprint(regressor)
     images, distances, boxes = make_balanced_eval_frames(n_per_range, seed=21)
-    rows: List[PGDComparisonRow] = []
-    for n_iter in iteration_budgets:
-        for name, attack in (("PGD", PGDAttack(eps=0.06, n_iter=n_iter, seed=1)),
-                             ("Auto-PGD", AutoPGDAttack(eps=0.06,
-                                                        n_iter=n_iter, seed=1))):
-            result = evaluate_distance(regressor, images, distances, boxes,
-                                       attack=attack)
-            rows.append(PGDComparisonRow(name, n_iter,
-                                         result.range_errors[(0, 20)]))
-    return rows
+
+    def cell(name: str, n_iter: int) -> float:
+        # Attacks are built inside the cell so their RNG state is identical
+        # under serial and parallel execution.
+        if name == "PGD":
+            attack = PGDAttack(eps=0.06, n_iter=n_iter, seed=1)
+        else:
+            attack = AutoPGDAttack(eps=0.06, n_iter=n_iter, seed=1)
+        result = evaluate_distance(regressor, images, distances, boxes,
+                                   attack=attack)
+        return result.range_errors[(0, 20)]
+
+    grid = GridRunner("ablation-apgd", workers=workers)
+    keys = [(name, n_iter) for n_iter in iteration_budgets
+            for name in ("PGD", "Auto-PGD")]
+    for name, n_iter in keys:
+        grid.add((name, n_iter),
+                 lambda name=name, n_iter=n_iter: cell(name, n_iter),
+                 config={"attack": name, "n_iter": n_iter,
+                         "n_per_range": n_per_range, "model": model_fp,
+                         "v": 1})
+    results = grid.run()
+    return [PGDComparisonRow(name, n_iter, results[(name, n_iter)])
+            for name, n_iter in keys]
 
 
 def render_apgd_vs_pgd(rows: List[PGDComparisonRow]) -> str:
@@ -109,7 +141,8 @@ class WeatherRow:
 
 
 def weather_sweep(n_frames: int = 10, intensity: float = 0.7,
-                  eps: float = 0.06) -> List[WeatherRow]:
+                  eps: float = 0.06,
+                  workers: Optional[int] = None) -> List[WeatherRow]:
     """Attack strength under §III-A's degraded-visibility conditions.
 
     For each weather kind, measure (a) the model's clean MAE under that
@@ -128,8 +161,9 @@ def weather_sweep(n_frames: int = 10, intensity: float = 0.7,
         frames.append(frame.image)
         boxes.append(frame.lead_box)
     base = np.stack(frames)
-    rows: List[WeatherRow] = []
-    for condition in ("clear", "fog", "rain", "night"):
+    model_fp = state_fingerprint(regressor)
+
+    def cell(condition: str):
         if condition == "clear":
             images = base
         else:
@@ -142,9 +176,17 @@ def weather_sweep(n_frames: int = 10, intensity: float = 0.7,
         adv = FGSMAttack(eps=eps).perturb(
             images, regressor_loss_fn(regressor, distances), mask=mask)
         adv_pred = regressor.predict(adv)
-        rows.append(WeatherRow(condition, clean_mae,
-                               float((adv_pred - clean_pred).mean())))
-    return rows
+        return (clean_mae, float((adv_pred - clean_pred).mean()))
+
+    conditions = ("clear", "fog", "rain", "night")
+    grid = GridRunner("ablation-weather", workers=workers)
+    for condition in conditions:
+        grid.add(("weather", condition), lambda c=condition: cell(c),
+                 config={"condition": condition, "n_frames": n_frames,
+                         "intensity": intensity, "eps": eps,
+                         "model": model_fp, "v": 1})
+    results = grid.run()
+    return [WeatherRow(c, *results[("weather", c)]) for c in conditions]
 
 
 def render_weather(rows: List[WeatherRow]) -> str:

@@ -10,7 +10,10 @@ Protocol (§V-C.2):
    other attacks (also generated against the base model — the transfer
    setting), plus a Mixed test set for detection.
 
-All retrained models are cached, so the grid is expensive exactly once.
+Runtime shape: the sixteen adversarial train/test set generations are grid
+cells (``.npz``-cached, parallel); the retrainings stay serial behind the
+model zoo's cache (expensive exactly once); the transfer evaluation grid
+runs in parallel with JSON-cached metrics.
 """
 
 from __future__ import annotations
@@ -26,9 +29,9 @@ from ..defenses.adversarial_training import (generate_adversarial_frames,
                                              generate_adversarial_signs,
                                              mixed_adversarial_set)
 from ..eval.detection_metrics import DetectionMetrics
-from ..eval.harness import (attack_driving_frames, attack_sign_dataset,
-                            evaluate_detection, evaluate_distance,
-                            make_balanced_eval_frames)
+from ..eval.harness import (cached_attack_driving_frames,
+                            cached_attack_sign_dataset, evaluate_detection,
+                            evaluate_distance, make_balanced_eval_frames)
 from ..eval.regression_metrics import RangeErrors
 from ..eval.reporting import combined_table
 from ..models import TinyDetector
@@ -36,6 +39,8 @@ from ..models.distance import DistanceRegressor
 from ..models.training import train_detector, train_regressor
 from ..models.zoo import (cached_model, get_detector, get_regressor,
                           get_sign_dataset, get_sign_testset)
+from ..nn.serialize import state_fingerprint
+from ..runtime import GridRunner, array_fingerprint
 
 ROW_NAMES = [row[0] for row in PAIRED_ATTACK_ROWS]  # incl. "CAP/RP2"
 _REG_ATTACK = {row[0]: row[1] for row in PAIRED_ATTACK_ROWS}
@@ -54,20 +59,6 @@ class Table3Row:
     attacked_by: str
     range_errors: Optional[RangeErrors]
     detection: Optional[DetectionMetrics]
-
-
-def _adv_sign_sets(base: TinyDetector, images, targets) -> Dict[str, np.ndarray]:
-    return {name: generate_adversarial_signs(
-        base, images, targets, make_detection_attack(_DET_ATTACK[name]))
-        for name in ROW_NAMES}
-
-
-def _adv_frame_sets(base: DistanceRegressor, images, distances, boxes
-                    ) -> Dict[str, np.ndarray]:
-    return {name: generate_adversarial_frames(
-        base, images, distances, boxes,
-        make_regression_attack(_REG_ATTACK[name]))
-        for name in ROW_NAMES}
 
 
 def _retrained_detector(source: str, adv_sets, clean_images, clean_targets,
@@ -117,56 +108,102 @@ def _retrained_regressor(source: str, adv_sets, clean_images,
         lambda: DistanceRegressor(rng=np.random.default_rng(0)), train)
 
 
-def run(n_per_range: int = 12, n_test_scenes: int = 50) -> List[Table3Row]:
+def run(n_per_range: int = 12, n_test_scenes: int = 50,
+        workers: Optional[int] = None) -> List[Table3Row]:
     base_detector = get_detector()
     base_regressor = get_regressor()
+    det_fp = state_fingerprint(base_detector)
+    reg_fp = state_fingerprint(base_regressor)
 
-    # Training-side adversarial sets.
     train_set = get_sign_dataset(TRAIN_SCENES, seed=77)
     train_images = train_set.images()
     train_targets = [s.boxes for s in train_set.scenes]
-    det_adv_sets = _adv_sign_sets(base_detector, train_images, train_targets)
-
     frames, frame_distances, frame_boxes = make_balanced_eval_frames(
         TRAIN_FRAMES // 4, seed=555)
-    reg_adv_sets = _adv_frame_sets(base_regressor, frames, frame_distances,
-                                   frame_boxes)
 
-    # Test-side adversarial sets (transfer: generated against the base).
     testset = get_sign_testset(n_scenes=n_test_scenes, seed=999)
-    det_test_adv = {name: attack_sign_dataset(
-        base_detector, testset, make_detection_attack(_DET_ATTACK[name]))
-        for name in ROW_NAMES}
-    det_test_adv["Mixed"] = _mixed_test_images(det_test_adv, seed=1)
-
     test_images, test_distances, test_boxes = make_balanced_eval_frames(
         n_per_range, seed=123)
-    reg_test_adv = {name: attack_driving_frames(
-        base_regressor, test_images, test_distances, test_boxes,
-        make_regression_attack(_REG_ATTACK[name]))
-        for name in ROW_NAMES}
 
-    rows: List[Table3Row] = []
+    # Stage 1: all adversarial set generations, fanned out.  Train-side sets
+    # get explicit npz cells; test-side sets go through the shared harness
+    # caches (same entries Tables II/IV hit).
+    adv_grid = GridRunner("adv", workers=workers)
+    for name in ROW_NAMES:
+        adv_grid.add(
+            ("train-det", name),
+            lambda name=name: generate_adversarial_signs(
+                base_detector, train_images, train_targets,
+                make_detection_attack(_DET_ATTACK[name])),
+            config={"set": "table3-train-det", "source": name,
+                    "scenes": TRAIN_SCENES, "model": det_fp, "v": 1},
+            codec="npz")
+        adv_grid.add(
+            ("train-reg", name),
+            lambda name=name: generate_adversarial_frames(
+                base_regressor, frames, frame_distances, frame_boxes,
+                make_regression_attack(_REG_ATTACK[name])),
+            config={"set": "table3-train-reg", "source": name,
+                    "frames": TRAIN_FRAMES, "model": reg_fp, "v": 1},
+            codec="npz")
+        adv_grid.add(
+            ("test-det", name),
+            lambda name=name: cached_attack_sign_dataset(
+                base_detector, testset,
+                make_detection_attack(_DET_ATTACK[name])))
+        adv_grid.add(
+            ("test-reg", name),
+            lambda name=name: cached_attack_driving_frames(
+                base_regressor, test_images, test_distances, test_boxes,
+                make_regression_attack(_REG_ATTACK[name])))
+    adv = adv_grid.run()
+
+    det_adv_sets = {name: adv[("train-det", name)] for name in ROW_NAMES}
+    reg_adv_sets = {name: adv[("train-reg", name)] for name in ROW_NAMES}
+    det_test_adv = {name: adv[("test-det", name)] for name in ROW_NAMES}
+    det_test_adv["Mixed"] = _mixed_test_images(det_test_adv, seed=1)
+    reg_test_adv = {name: adv[("test-reg", name)] for name in ROW_NAMES}
+
+    # Stage 2: retraining, serial — each variant is zoo-cached.
     sources = ROW_NAMES + ["Mixed"]
+    detectors = {source: _retrained_detector(
+        source, det_adv_sets, train_images, train_targets, base_detector)
+        for source in sources}
+    regressors = {source: _retrained_regressor(
+        source, reg_adv_sets, frames, frame_distances, base_regressor)
+        for source in sources}
+
+    # Stage 3: the transfer evaluation grid.
+    eval_grid = GridRunner("table3", workers=workers)
+    pairs = []
     for source in sources:
-        detector = _retrained_detector(source, det_adv_sets, train_images,
-                                       train_targets, base_detector)
-        regressor = _retrained_regressor(source, reg_adv_sets, frames,
-                                         frame_distances, base_regressor)
         test_attacks = [n for n in ROW_NAMES if n != source] + ["Mixed"]
         for attacked_by in test_attacks:
-            detection = evaluate_detection(
-                detector, testset,
-                adversarial_images=det_test_adv[attacked_by])
-            if attacked_by == "Mixed":
-                errors = None  # the paper leaves regression blank for Mixed
-            else:
-                errors = evaluate_distance(
-                    regressor, test_images, test_distances, test_boxes,
-                    adversarial_images=reg_test_adv[attacked_by]
-                ).range_errors
-            rows.append(Table3Row(source, attacked_by, errors, detection))
-    return rows
+            pairs.append((source, attacked_by))
+            def cell(source=source, attacked_by=attacked_by):
+                detection = evaluate_detection(
+                    detectors[source], testset,
+                    adversarial_images=det_test_adv[attacked_by])
+                if attacked_by == "Mixed":
+                    errors = None  # the paper leaves regression blank
+                else:
+                    errors = evaluate_distance(
+                        regressors[source], test_images, test_distances,
+                        test_boxes,
+                        adversarial_images=reg_test_adv[attacked_by]
+                    ).range_errors
+                return (errors, detection)
+            config = {"det": state_fingerprint(detectors[source]),
+                      "det_adv": array_fingerprint(det_test_adv[attacked_by]),
+                      "v": 1}
+            if attacked_by != "Mixed":
+                config["reg"] = state_fingerprint(regressors[source])
+                config["reg_adv"] = array_fingerprint(
+                    reg_test_adv[attacked_by])
+            eval_grid.add((source, attacked_by), cell, config=config)
+    results = eval_grid.run()
+    return [Table3Row(source, attacked_by, *results[(source, attacked_by)])
+            for source, attacked_by in pairs]
 
 
 def _mixed_test_images(adv_sets: Dict[str, np.ndarray], seed: int

@@ -71,8 +71,7 @@ def get_detector(seed: int = 0, n_scenes: int = DETECTOR_TRAIN_SCENES,
     config = {"seed": seed, "scenes": n_scenes, "epochs": epochs, "v": 6}
     path = _cache_path("detector", config)
     model = TinyDetector(rng=np.random.default_rng(seed))
-    if os.path.exists(path) and not force_retrain:
-        serialize.load_module(path, model)
+    if not force_retrain and serialize.try_load_module(path, model):
         model.eval()
         return model
     dataset = get_sign_dataset(n_scenes, seed=seed)
@@ -91,8 +90,7 @@ def get_regressor(seed: int = 0, n_frames: int = REGRESSOR_TRAIN_FRAMES,
     config = {"seed": seed, "frames": n_frames, "epochs": epochs, "v": 6}
     path = _cache_path("regressor", config)
     model = DistanceRegressor(rng=np.random.default_rng(seed))
-    if os.path.exists(path) and not force_retrain:
-        serialize.load_module(path, model)
+    if not force_retrain and serialize.try_load_module(path, model):
         model.eval()
         return model
     images, distances = get_driving_data(n_frames, seed=seed)
@@ -121,10 +119,16 @@ def get_diffusion(domain: str, seed: int = 0, epochs: int = DIFFUSION_EPOCHS,
               "images": n_images, "v": 1}
     path = _cache_path("diffusion", config)
     model = DenoisingDiffusionModel(seed=seed)
-    if os.path.exists(path):
-        model.load_state_dict(serialize.load_state(path))
-        model.network.eval()
-        return model
+    state = serialize.try_load_state(path)
+    if state is not None:
+        try:
+            model.load_state_dict(state)
+            model.network.eval()
+            return model
+        except serialize.CHECKPOINT_ERRORS:
+            serialize.logger.warning(
+                "diffusion checkpoint %s does not fit the model; retraining",
+                path)
     if domain == "signs":
         images = SignDataset(n_images, seed=seed + 50).images()
     else:
@@ -143,8 +147,7 @@ def cached_model(name: str, config: dict, build, train) -> object:
     """
     path = _cache_path(name, config)
     model = build()
-    if os.path.exists(path):
-        serialize.load_module(path, model)
+    if serialize.try_load_module(path, model):
         model.eval()
         return model
     train(model)

@@ -1,0 +1,63 @@
+"""Lightweight global counters for forward/backward passes.
+
+The runtime instrumentation layer (:mod:`repro.runtime.instrument`) reads
+these to attribute nn work to experiment grid cells.  A *forward pass* is
+one top-level module invocation (nested submodule calls inside a model do
+not count separately); a *backward pass* is one call to
+:meth:`repro.nn.Tensor.backward`.
+
+Counters are per-process.  The parallel grid executor snapshots them inside
+each worker and ships the deltas back to the parent, so per-cell counts are
+exact under both serial and forked execution.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class PassCounters:
+    """Mutable forward/backward counters with a module-call depth guard."""
+
+    __slots__ = ("forward", "backward", "_depth")
+
+    def __init__(self) -> None:
+        self.forward = 0
+        self.backward = 0
+        self._depth = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.forward, self.backward)
+
+    def reset(self) -> None:
+        self.forward = 0
+        self.backward = 0
+        self._depth = 0
+
+
+COUNTERS = PassCounters()
+
+
+def enter_module() -> None:
+    """Called by ``Module.__call__`` on entry; counts only top-level calls."""
+    COUNTERS._depth += 1
+    if COUNTERS._depth == 1:
+        COUNTERS.forward += 1
+
+
+def exit_module() -> None:
+    COUNTERS._depth -= 1
+
+
+def count_backward() -> None:
+    """Called by ``Tensor.backward`` once per reverse-mode sweep."""
+    COUNTERS.backward += 1
+
+
+def snapshot() -> Tuple[int, int]:
+    """Current (forward, backward) counts for this process."""
+    return COUNTERS.snapshot()
+
+
+def reset() -> None:
+    COUNTERS.reset()

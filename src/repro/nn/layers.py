@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import functional as F
+from . import hooks
 from . import init
 from .tensor import Tensor
 
@@ -100,7 +101,11 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        hooks.enter_module()
+        try:
+            return self.forward(*args, **kwargs)
+        finally:
+            hooks.exit_module()
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
         raise NotImplementedError

@@ -36,19 +36,28 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        # Scratch buffers keep the hot loop allocation-free: every product /
+        # sum below lands in ``buf`` or the velocity instead of a fresh array.
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for p, v, buf in zip(self.params, self._velocity, self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             if self.momentum:
                 v *= self.momentum
                 v += grad
                 grad = v
-            p.data -= self.lr * grad
+            if grad is buf:
+                buf *= self.lr
+            else:
+                np.multiply(grad, self.lr, out=buf)
+            p.data -= buf
 
 
 class Adam(Optimizer):
@@ -64,28 +73,42 @@ class Adam(Optimizer):
         self.decoupled = decoupled
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Two scratch buffers per parameter make the whole update in-place.
+        self._buf1 = [np.empty_like(p.data) for p in self.params]
+        self._buf2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, buf1, buf2 in zip(self.params, self._m, self._v,
+                                       self._buf1, self._buf2):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay and not self.decoupled:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf1)
+                buf1 += grad
+                grad = buf1
             m *= self.beta1
-            m += (1 - self.beta1) * grad
+            np.multiply(grad, 1 - self.beta1, out=buf2)
+            m += buf2
             v *= self.beta2
-            v += (1 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1 - self.beta2, out=buf2)
+            buf2 *= grad
+            v += buf2
+            # update = (m / bias1) / (sqrt(v / bias2) + eps), built in buffers.
+            np.divide(v, bias2, out=buf2)
+            np.sqrt(buf2, out=buf2)
+            buf2 += self.eps
+            np.divide(m, bias1, out=buf1)
+            buf1 /= buf2
             if self.weight_decay and self.decoupled:
-                update = update + self.weight_decay * p.data
-            p.data -= self.lr * update
+                np.multiply(p.data, self.weight_decay, out=buf2)
+                buf1 += buf2
+            buf1 *= self.lr
+            p.data -= buf1
 
 
 def AdamW(params: Iterable[Tensor], lr: float = 1e-3, betas=(0.9, 0.999),

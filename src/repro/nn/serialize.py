@@ -1,11 +1,31 @@
-"""Model checkpointing: state dicts as ``.npz`` archives."""
+"""Model checkpointing: state dicts as ``.npz`` archives.
+
+Loading is *defensive*: checkpoints live in a disk cache that can be
+corrupted (truncated writes, partial copies, stale files from older layouts),
+and a bad cache entry must degrade to a cache miss — retrain and rewrite —
+never a crash.  :func:`try_load_state` / :func:`try_load_module` implement
+that contract; the strict :func:`load_state` / :func:`load_module` remain for
+callers that want the exception.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
-from typing import Dict
+import pickle
+import zipfile
+from typing import Dict, Optional
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Everything a corrupt / truncated / wrong-layout ``.npz`` can raise while
+#: being opened and read.  ``KeyError`` / ``ValueError`` cover state dicts
+#: whose keys or shapes no longer match the module.
+CHECKPOINT_ERRORS = (zipfile.BadZipFile, OSError, EOFError, KeyError,
+                     ValueError, pickle.UnpicklingError)
 
 
 def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
@@ -30,3 +50,70 @@ def save_module(path: str, module) -> None:
 
 def load_module(path: str, module) -> None:
     module.load_state_dict(load_state(path))
+
+
+def _discard_corrupt(path: str, error: Exception) -> None:
+    logger.warning("checkpoint %s is unreadable (%s: %s); treating as a "
+                   "cache miss", path, type(error).__name__, error)
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def try_load_state(path: str) -> Optional[Dict[str, np.ndarray]]:
+    """Load a state dict, or ``None`` if the file is missing or unreadable.
+
+    A corrupt file is logged, deleted (best effort) so the caller's retrain
+    can atomically rewrite it, and reported as a miss.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        return load_state(path)
+    except CHECKPOINT_ERRORS as error:
+        _discard_corrupt(path, error)
+        return None
+
+
+def try_load_module(path: str, module) -> bool:
+    """Load ``module`` from ``path``; ``False`` on any checkpoint defect.
+
+    Covers unreadable archives *and* state dicts that no longer fit the
+    module (missing parameters, shape mismatches) — both mean the cached
+    artifact is stale and must be regenerated.
+    """
+    state = try_load_state(path)
+    if state is None:
+        return False
+    try:
+        # Validate every parameter before mutating the module so a defective
+        # state dict cannot leave it half-loaded ahead of the retrain.
+        for name, param in module.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{param.data.shape} vs {state[name].shape}")
+        module.load_state_dict(state)
+    except CHECKPOINT_ERRORS as error:
+        _discard_corrupt(path, error)
+        return False
+    return True
+
+
+def state_fingerprint(module) -> str:
+    """Stable short hash of a module's parameters and buffers.
+
+    Used as a cache-key component so results derived from a model (e.g. its
+    adversarial test sets) invalidate when the model's weights change.
+    """
+    digest = hashlib.sha256()
+    state = module.state_dict()
+    for name in sorted(state):
+        digest.update(name.encode())
+        array = np.ascontiguousarray(state[name])
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()[:16]

@@ -19,6 +19,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import hooks
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
@@ -381,6 +383,7 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        hooks.count_backward()
         if grad is None:
             grad = np.ones_like(self.data)
         self.grad = np.asarray(grad, dtype=np.float32)

@@ -1,0 +1,32 @@
+"""``repro.runtime`` — parallel, cached, instrumented experiment execution.
+
+The paper's tables are attack × defense × model grids whose cells are
+independent; this package is the engine every experiment runs on:
+
+* :func:`parallel_map` / :class:`GridRunner` — fork-based fan-out with a
+  deterministic serial fallback (``REPRO_WORKERS=1``);
+* :class:`ResultCache` — content-addressed cell results (``.npz`` image
+  batches, tagged-JSON metrics) under ``$REPRO_CACHE_DIR/cells``;
+* :mod:`~repro.runtime.instrument` — per-cell wall-clock and nn
+  forward/backward counters, exported as ``BENCH_runtime.json``.
+
+Environment knobs: ``REPRO_WORKERS`` (worker count; default all cores),
+``REPRO_CACHE_DIR`` (cache root), ``REPRO_RESULT_CACHE=0`` (disable the
+result cache), ``REPRO_BENCH_JSON`` (instrumentation export path).
+"""
+
+from .cache import (ResultCache, array_fingerprint, cache_enabled,
+                    default_cache, fingerprint)
+from .grid import GridRunner
+from .instrument import (CellRecord, Instrumentation, export_bench,
+                         get_instrumentation, scope)
+from .parallel import (WorkerError, fork_available, parallel_map, stable_seed,
+                       worker_count)
+
+__all__ = [
+    "GridRunner", "ResultCache", "parallel_map", "worker_count",
+    "fork_available", "stable_seed", "WorkerError",
+    "array_fingerprint", "cache_enabled", "default_cache", "fingerprint",
+    "CellRecord", "Instrumentation", "export_bench", "get_instrumentation",
+    "scope",
+]

@@ -1,0 +1,162 @@
+"""Content-addressed cache for experiment cell results.
+
+Two artifact classes, mirroring what the experiments actually produce:
+
+* **array batches** (adversarial image sets) as ``.npz`` archives, and
+* **metrics** (range errors, detection triples, ablation rows) as tagged
+  JSON (see :mod:`repro.runtime.codecs`).
+
+Every entry is keyed by a SHA-256 fingerprint of its configuration dict —
+attack name, eval-set sizes, seeds, and (crucially) the *weights fingerprint*
+of any model the result depends on — so re-running a table recomputes only
+the cells whose inputs changed.  Corrupt entries degrade to misses, exactly
+like the model zoo.
+
+Layout: ``$REPRO_CACHE_DIR/cells/<name>-<fingerprint>.{npz,json}`` next to
+the model zoo's checkpoints.  Disable with ``REPRO_RESULT_CACHE=0``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn.serialize import CHECKPOINT_ERRORS
+from . import codecs
+
+logger = logging.getLogger(__name__)
+
+CACHE_TOGGLE_ENV = "REPRO_RESULT_CACHE"
+
+
+def _default_root() -> str:
+    path = os.environ.get("REPRO_CACHE_DIR")
+    if path is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        path = os.path.join(root, ".cache")
+    return os.path.join(path, "cells")
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(CACHE_TOGGLE_ENV, "1") != "0"
+
+
+def fingerprint(config: Dict[str, Any]) -> str:
+    blob = json.dumps(config, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def array_fingerprint(array: np.ndarray) -> str:
+    """Short content hash of an array (cache-key component)."""
+    digest = hashlib.sha256()
+    array = np.ascontiguousarray(array)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Filesystem cache for grid-cell results."""
+
+    def __init__(self, root: Optional[str] = None,
+                 enabled: Optional[bool] = None):
+        self.root = root if root is not None else _default_root()
+        self._enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return cache_enabled() if self._enabled is None else self._enabled
+
+    def path(self, name: str, config: Dict[str, Any], ext: str) -> str:
+        return os.path.join(self.root, f"{name}-{fingerprint(config)}.{ext}")
+
+    # -- npz: adversarial image batches ---------------------------------
+    def load_arrays(self, name: str, config: Dict[str, Any]
+                    ) -> Optional[Dict[str, np.ndarray]]:
+        if not self.enabled:
+            return None
+        path = self.path(name, config, "npz")
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as archive:
+                return {key: archive[key] for key in archive.files}
+        except CHECKPOINT_ERRORS as error:
+            self._discard(path, error)
+            return None
+
+    def save_arrays(self, name: str, config: Dict[str, Any],
+                    arrays: Dict[str, np.ndarray]) -> None:
+        if not self.enabled:
+            return
+        path = self.path(name, config, "npz")
+        os.makedirs(self.root, exist_ok=True)
+        tmp = path + ".tmp"
+        np.savez(tmp, **arrays)
+        os.replace(tmp + ".npz", path)
+
+    def memo_array(self, name: str, config: Dict[str, Any],
+                   compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """Single-array convenience: cache hit or compute-and-store."""
+        cached = self.load_arrays(name, config)
+        if cached is not None and "array" in cached:
+            return cached["array"]
+        array = compute()
+        self.save_arrays(name, config, {"array": array})
+        return array
+
+    # -- json: metrics --------------------------------------------------
+    def load_json(self, name: str, config: Dict[str, Any]) -> Optional[Any]:
+        if not self.enabled:
+            return None
+        path = self.path(name, config, "json")
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                return codecs.from_jsonable(json.load(handle))
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                ValueError, OSError) as error:
+            self._discard(path, error)
+            return None
+
+    def save_json(self, name: str, config: Dict[str, Any], value: Any) -> None:
+        if not self.enabled:
+            return
+        path = self.path(name, config, "json")
+        os.makedirs(self.root, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(codecs.to_jsonable(value), handle, indent=1)
+        os.replace(tmp, path)
+
+    def memo_json(self, name: str, config: Dict[str, Any],
+                  compute: Callable[[], Any]) -> Any:
+        cached = self.load_json(name, config)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.save_json(name, config, value)
+        return value
+
+    # -- shared ---------------------------------------------------------
+    @staticmethod
+    def _discard(path: str, error: Exception) -> None:
+        logger.warning("cached result %s is unreadable (%s: %s); treating "
+                       "as a miss", path, type(error).__name__, error)
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def default_cache() -> ResultCache:
+    """A fresh cache view honouring the current environment variables."""
+    return ResultCache()

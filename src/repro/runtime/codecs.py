@@ -1,0 +1,101 @@
+"""Tagged-JSON round-tripping for experiment cell results.
+
+The result cache stores metrics as human-inspectable JSON.  Experiment cells
+return small structured values — metric dataclasses, numpy arrays/scalars,
+tuples, dicts — so the codec handles exactly that vocabulary via
+``{"__kind__": ...}`` tags.  Registrations for the two metric leaf types
+(:class:`RangeErrors`, :class:`DetectionMetrics`) are installed lazily to
+keep this module import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+# kind tag -> (type, encode(obj) -> jsonable dict payload, decode(payload))
+_REGISTRY: Dict[str, Tuple[type, Callable, Callable]] = {}
+_registered_builtin = False
+
+
+def register(kind: str, cls: type, encode: Callable[[Any], dict],
+             decode: Callable[[dict], Any]) -> None:
+    _REGISTRY[kind] = (cls, encode, decode)
+
+
+def _ensure_builtin_registrations() -> None:
+    global _registered_builtin
+    if _registered_builtin:
+        return
+    _registered_builtin = True
+    from ..eval.detection_metrics import DetectionMetrics
+    from ..eval.regression_metrics import RangeErrors
+
+    register(
+        "range_errors", RangeErrors,
+        lambda obj: {
+            "errors": [[low, high, value]
+                       for (low, high), value in sorted(obj.errors.items())],
+            "counts": [[low, high, count]
+                       for (low, high), count in sorted(obj.counts.items())],
+        },
+        lambda payload: RangeErrors(
+            errors={(low, high): value
+                    for low, high, value in payload["errors"]},
+            counts={(low, high): int(count)
+                    for low, high, count in payload["counts"]},
+        ))
+    register(
+        "detection_metrics", DetectionMetrics,
+        lambda obj: {"map50": obj.map50, "precision": obj.precision,
+                     "recall": obj.recall},
+        lambda payload: DetectionMetrics(**payload))
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Encode ``obj`` into plain JSON types plus ``__kind__`` tags."""
+    _ensure_builtin_registrations()
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj  # json emits NaN/Infinity tokens, which json.loads accepts
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return {"__kind__": "ndarray", "dtype": str(obj.dtype),
+                "data": obj.tolist()}
+    if isinstance(obj, tuple):
+        return {"__kind__": "tuple", "items": [to_jsonable(v) for v in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        if not all(isinstance(k, str) for k in obj):
+            raise TypeError("only str-keyed dicts are JSON-cacheable; wrap "
+                            "tuple keys in a registered type")
+        return {k: to_jsonable(v) for k, v in obj.items()}
+    for kind, (cls, encode, _) in _REGISTRY.items():
+        if isinstance(obj, cls):
+            # Recurse into the payload: encoders may emit numpy scalars
+            # (e.g. RangeErrors values are np.float32).
+            return {"__kind__": kind, "payload": to_jsonable(encode(obj))}
+    raise TypeError(f"cannot JSON-encode cell result of type {type(obj)!r}")
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    _ensure_builtin_registrations()
+    if isinstance(obj, list):
+        return [from_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        kind = obj.get("__kind__")
+        if kind is None:
+            return {k: from_jsonable(v) for k, v in obj.items()}
+        if kind == "tuple":
+            return tuple(from_jsonable(v) for v in obj["items"])
+        if kind == "ndarray":
+            return np.asarray(obj["data"], dtype=obj["dtype"])
+        if kind in _REGISTRY:
+            return _REGISTRY[kind][2](from_jsonable(obj["payload"]))
+        raise ValueError(f"unknown codec kind {kind!r} in cached result")
+    return obj

@@ -1,0 +1,150 @@
+"""GridRunner: declare experiment cells, execute them in parallel, cached.
+
+A *cell* is one independent unit of an experiment grid — "generate the
+Auto-PGD adversarial frames", "evaluate attack X under defense Y" — declared
+as a zero-argument closure plus an optional cache configuration:
+
+::
+
+    grid = GridRunner("table1")
+    for name in attacks:
+        grid.add(name, lambda name=name: evaluate(name),
+                 config={"attack": name, "model": model_fp, "v": 1})
+    rows = grid.run()          # {cell key: result}
+
+``run()`` resolves each cell against the result cache, fans the misses
+across forked workers via :func:`repro.runtime.parallel.parallel_map`
+(serial when ``REPRO_WORKERS=1``), stores fresh results, and records a
+:class:`~repro.runtime.instrument.CellRecord` per cell — including the nn
+forward/backward passes measured *inside* the worker that ran it.
+
+Cells must be independent and deterministic given their own seeds; results
+must be picklable (numpy arrays and the metric dataclasses are).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from ..nn import hooks
+from . import instrument
+from .cache import ResultCache, default_cache
+from .parallel import parallel_map
+
+#: codec name -> (store, load) against the ResultCache
+_CODECS = ("json", "npz")
+
+
+@dataclass
+class _Cell:
+    key: Hashable
+    fn: Callable[[], Any]
+    config: Optional[dict]
+    codec: str
+
+    @property
+    def label(self) -> str:
+        if isinstance(self.key, tuple):
+            return "/".join(str(part) for part in self.key)
+        return str(self.key)
+
+
+class GridRunner:
+    """Parallel, cached, instrumented execution of one experiment grid."""
+
+    def __init__(self, name: str, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 instrumentation: Optional[instrument.Instrumentation] = None):
+        self.name = name
+        self.workers = workers
+        self.cache = cache if cache is not None else default_cache()
+        self.instrumentation = (instrumentation if instrumentation is not None
+                                else instrument.get_instrumentation())
+        self._cells: List[_Cell] = []
+
+    def add(self, key: Hashable, fn: Callable[[], Any],
+            config: Optional[dict] = None, codec: str = "json") -> None:
+        """Declare a cell.  ``config=None`` makes the cell uncacheable.
+
+        ``codec="npz"`` is for cells returning a single ``np.ndarray`` (image
+        batches); ``codec="json"`` for metric-shaped results.
+        """
+        if codec not in _CODECS:
+            raise ValueError(f"unknown codec {codec!r}")
+        if any(cell.key == key for cell in self._cells):
+            raise ValueError(f"duplicate cell key {key!r} in grid {self.name!r}")
+        self._cells.append(_Cell(key=key, fn=fn, config=config, codec=codec))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # -- cache plumbing -------------------------------------------------
+    def _cache_name(self, cell: _Cell) -> str:
+        return f"{self.name}-{cell.label}".replace(" ", "_").replace("/", "_")
+
+    def _load_cached(self, cell: _Cell) -> Optional[Any]:
+        if cell.config is None:
+            return None
+        if cell.codec == "npz":
+            arrays = self.cache.load_arrays(self._cache_name(cell), cell.config)
+            if arrays is not None and "array" in arrays:
+                return arrays["array"]
+            return None
+        return self.cache.load_json(self._cache_name(cell), cell.config)
+
+    def _store(self, cell: _Cell, result: Any) -> None:
+        if cell.config is None or result is None:
+            return
+        if cell.codec == "npz":
+            self.cache.save_arrays(self._cache_name(cell), cell.config,
+                                   {"array": np.asarray(result)})
+        else:
+            self.cache.save_json(self._cache_name(cell), cell.config, result)
+
+    # -- execution ------------------------------------------------------
+    def run(self) -> Dict[Hashable, Any]:
+        """Execute every declared cell; returns ``{key: result}``."""
+        results: Dict[Hashable, Any] = {}
+        pending: List[_Cell] = []
+        for cell in self._cells:
+            cached = self._load_cached(cell)
+            if cached is not None:
+                results[cell.key] = cached
+                self.instrumentation.record_cell(instrument.CellRecord(
+                    grid=self.name, cell=cell.label, seconds=0.0,
+                    forward_passes=0, backward_passes=0, cached=True))
+            else:
+                pending.append(cell)
+
+        if pending:
+            outcomes = parallel_map(_execute_cell, pending,
+                                    workers=self.workers)
+            for cell, (result, record) in zip(pending, outcomes):
+                record.grid = self.name
+                results[cell.key] = result
+                self._store(cell, result)
+                self.instrumentation.record_cell(record)
+        return results
+
+
+def _execute_cell(cell: _Cell):
+    """Run one cell, measuring wall-clock and nn passes in *this* process.
+
+    Top-level (not a closure) so the serial path and the forked path execute
+    byte-for-byte the same code; the measured counters are per-process, which
+    makes the deltas exact in workers too.
+    """
+    start_forward, start_backward = hooks.snapshot()
+    start = time.perf_counter()
+    result = cell.fn()
+    elapsed = time.perf_counter() - start
+    end_forward, end_backward = hooks.snapshot()
+    record = instrument.CellRecord(
+        grid="", cell=cell.label, seconds=elapsed,
+        forward_passes=end_forward - start_forward,
+        backward_passes=end_backward - start_backward)
+    return result, record

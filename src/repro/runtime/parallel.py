@@ -1,0 +1,148 @@
+"""Process-parallel map over independent experiment cells.
+
+The experiment grids (attack × defense × model) are embarrassingly parallel:
+every cell constructs its own attack/defense objects with fixed seeds and
+only *reads* the shared models.  :func:`parallel_map` fans such cells across
+``fork``\\ ed worker processes:
+
+* **fork, not spawn** — cells are closures over live models and datasets;
+  fork inherits them for free, so nothing but the *results* ever crosses a
+  process boundary (as pickles through a queue).
+* **deterministic** — cells carry their own seeds, so scheduling order
+  cannot change results; the output list is always in input order and
+  bit-identical to the serial path (asserted in
+  ``tests/runtime/test_grid_equivalence.py``).
+* **graceful fallback** — ``REPRO_WORKERS=1``, a single-item batch, or a
+  platform without ``fork`` (Windows spawn cannot ship closures) all take
+  the plain serial loop.
+
+Worker count resolution: explicit argument > ``REPRO_WORKERS`` env var >
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import queue as queue_module
+import traceback
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def worker_count(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count (>= 1)."""
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}")
+    return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    try:
+        return "fork" in mp.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def stable_seed(*parts, base: int = 0) -> int:
+    """Deterministic 32-bit seed derived from cell-identifying parts.
+
+    Unlike ``hash()``, this is stable across processes and interpreter runs
+    (``PYTHONHASHSEED`` does not affect it), so a cell gets the same seed no
+    matter which worker executes it.
+    """
+    blob = repr((base,) + parts).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "little")
+
+
+class WorkerError(RuntimeError):
+    """A cell raised inside a worker process; carries the remote traceback."""
+
+    def __init__(self, index: int, remote_traceback: str):
+        super().__init__(
+            f"parallel_map item {index} failed in worker:\n{remote_traceback}")
+        self.index = index
+        self.remote_traceback = remote_traceback
+
+
+def parallel_map(fn: Callable[[Item], Result], items: Sequence[Item],
+                 workers: Optional[int] = None) -> List[Result]:
+    """``[fn(item) for item in items]``, fanned across forked processes.
+
+    Results are returned in input order.  Any exception inside a worker is
+    re-raised in the parent as :class:`WorkerError` with the remote
+    traceback; a worker that dies without reporting (e.g. a hard crash)
+    raises ``RuntimeError`` instead of hanging.
+    """
+    items = list(items)
+    n_workers = min(worker_count(workers), len(items))
+    if n_workers <= 1 or not fork_available():
+        return [fn(item) for item in items]
+
+    ctx = mp.get_context("fork")
+    results_queue: mp.Queue = ctx.Queue()
+
+    def _worker(worker_id: int) -> None:
+        # Strided assignment keeps the work distribution deterministic.
+        for index in range(worker_id, len(items), n_workers):
+            try:
+                results_queue.put((index, True, fn(items[index])))
+            except BaseException:
+                results_queue.put((index, False, traceback.format_exc()))
+
+    processes = [ctx.Process(target=_worker, args=(w,), daemon=True)
+                 for w in range(n_workers)]
+    for process in processes:
+        process.start()
+
+    results: List[Optional[Result]] = [None] * len(items)
+    received = 0
+    failure: Optional[WorkerError] = None
+    try:
+        while received < len(items):
+            try:
+                index, ok, payload = results_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                if not any(p.is_alive() for p in processes):
+                    # Drain anything that raced with the liveness check.
+                    try:
+                        while received < len(items):
+                            index, ok, payload = results_queue.get_nowait()
+                            received += 1
+                            if ok:
+                                results[index] = payload
+                            elif failure is None:
+                                failure = WorkerError(index, payload)
+                    except queue_module.Empty:
+                        pass
+                    if received < len(items) and failure is None:
+                        raise RuntimeError(
+                            "parallel_map worker died without reporting a "
+                            "result (possible hard crash / OOM kill)")
+                    break
+                continue
+            received += 1
+            if ok:
+                results[index] = payload
+            elif failure is None:
+                failure = WorkerError(index, payload)
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join()
+    if failure is not None:
+        raise failure
+    return results

@@ -35,6 +35,37 @@ class TestBoxesToMask:
         assert mask.shape == (3, 1, 5, 7)
         assert mask.all()
 
+    def test_empty_box_list(self):
+        mask = boxes_to_mask([], 6, 9)
+        assert mask.shape == (0, 1, 6, 9)
+
+    def test_matches_scalar_reference(self):
+        # The vectorized rasterizer must agree with the per-pixel definition.
+        def reference(boxes, height, width):
+            masks = np.zeros((len(boxes), 1, height, width), dtype=np.float32)
+            for i, box in enumerate(boxes):
+                if box is None:
+                    continue
+                x1, y1, x2, y2 = box
+                x1 = int(np.clip(np.floor(x1), 0, width))
+                y1 = int(np.clip(np.floor(y1), 0, height))
+                x2 = int(np.clip(np.ceil(x2), 0, width))
+                y2 = int(np.clip(np.ceil(y2), 0, height))
+                masks[i, 0, y1:y2, x1:x2] = 1.0
+            return masks
+
+        rng = np.random.default_rng(0)
+        boxes = [None]
+        for _ in range(25):
+            x1, y1 = rng.uniform(-10, 30, 2)
+            boxes.append((x1, y1, x1 + rng.uniform(-2, 25),
+                          y1 + rng.uniform(-2, 25)))
+        boxes.append((0, 0, 0, 0))          # degenerate
+        boxes.append((100, 100, 200, 200))  # fully outside
+        got = boxes_to_mask(boxes, 17, 23)
+        np.testing.assert_array_equal(got, reference(boxes, 17, 23))
+        assert got.dtype == np.float32
+
 
 class TestInputGradient:
     def test_gradient_of_sum_is_ones(self):

@@ -1,0 +1,105 @@
+"""In-place optimizer updates: bit-equivalence to the textbook formulas and
+no per-step reallocation of parameter storage."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, AdamW, Tensor
+
+
+def _params(seed, n=3):
+    rng = np.random.default_rng(seed)
+    params = []
+    for i in range(n):
+        shape = (4, 3 + i)
+        p = Tensor(rng.normal(size=shape).astype(np.float32),
+                   requires_grad=True)
+        p.grad = rng.normal(size=shape).astype(np.float32)
+        params.append(p)
+    return params
+
+
+def _reference_sgd(data, grad, velocity, lr, momentum, weight_decay):
+    if weight_decay:
+        grad = data * weight_decay + grad
+    if momentum:
+        velocity[...] = velocity * momentum + grad
+        grad = velocity
+    return data - grad * lr
+
+
+@pytest.mark.smoke
+class TestSGDInPlace:
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    @pytest.mark.parametrize("weight_decay", [0.0, 1e-2])
+    def test_matches_reference_over_steps(self, momentum, weight_decay):
+        params = _params(0)
+        reference = [p.data.copy() for p in params]
+        velocities = [np.zeros_like(p.data) for p in params]
+        opt = SGD(params, lr=0.05, momentum=momentum,
+                  weight_decay=weight_decay)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            for i, p in enumerate(params):
+                p.grad = rng.normal(size=p.data.shape).astype(np.float32)
+                reference[i] = _reference_sgd(
+                    reference[i], p.grad, velocities[i], 0.05, momentum,
+                    weight_decay)
+            opt.step()
+        for p, expected in zip(params, reference):
+            np.testing.assert_array_equal(p.data, expected)
+
+    def test_parameter_storage_not_reallocated(self):
+        params = _params(2)
+        buffers = [p.data for p in params]
+        opt = SGD(params, lr=0.1, momentum=0.9, weight_decay=1e-2)
+        for _ in range(3):
+            opt.step()
+        assert all(p.data is buf for p, buf in zip(params, buffers))
+
+    def test_grad_arrays_not_mutated_by_step(self):
+        params = _params(3)
+        grads = [p.grad.copy() for p in params]
+        SGD(params, lr=0.1, momentum=0.9, weight_decay=1e-2).step()
+        for p, grad in zip(params, grads):
+            np.testing.assert_array_equal(p.grad, grad)
+
+
+@pytest.mark.smoke
+class TestAdamInPlace:
+    @pytest.mark.parametrize("weight_decay,decoupled",
+                             [(0.0, False), (1e-2, False), (1e-2, True)])
+    def test_matches_reference_over_steps(self, weight_decay, decoupled):
+        params = _params(4)
+        reference = [p.data.copy() for p in params]
+        ms = [np.zeros_like(p.data) for p in params]
+        vs = [np.zeros_like(p.data) for p in params]
+        lr, beta1, beta2, eps = 1e-2, 0.9, 0.999, 1e-8
+        opt = Adam(params, lr=lr, betas=(beta1, beta2), eps=eps,
+                   weight_decay=weight_decay, decoupled=decoupled)
+        rng = np.random.default_rng(5)
+        for t in range(1, 6):
+            bias1 = 1.0 - beta1 ** t
+            bias2 = 1.0 - beta2 ** t
+            for i, p in enumerate(params):
+                p.grad = rng.normal(size=p.data.shape).astype(np.float32)
+                grad = p.grad
+                if weight_decay and not decoupled:
+                    grad = reference[i] * weight_decay + grad
+                ms[i] = ms[i] * beta1 + (1 - beta1) * grad
+                vs[i] = vs[i] * beta2 + (1 - beta2) * grad * grad
+                update = (ms[i] / bias1) / (np.sqrt(vs[i] / bias2) + eps)
+                if weight_decay and decoupled:
+                    update = update + reference[i] * weight_decay
+                reference[i] = reference[i] - update * lr
+            opt.step()
+        for p, expected in zip(params, reference):
+            np.testing.assert_allclose(p.data, expected, rtol=0, atol=1e-7)
+
+    def test_parameter_storage_not_reallocated(self):
+        params = _params(6)
+        buffers = [p.data for p in params]
+        opt = AdamW(params, lr=1e-3)
+        for _ in range(3):
+            opt.step()
+        assert all(p.data is buf for p, buf in zip(params, buffers))

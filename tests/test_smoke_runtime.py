@@ -1,0 +1,82 @@
+"""Smoke tier: a miniature experiment grid end-to-end in a few seconds.
+
+Uses an *untrained* detector (no zoo checkpoints, no training) on a tiny
+scene batch so the whole attack -> grid -> cache -> instrumentation circuit
+runs fast enough for ``pytest -m smoke``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSMAttack, attack_fingerprint
+from repro.eval import evaluate_detection
+from repro.models import TinyDetector
+from repro.models.zoo import get_sign_testset
+from repro.nn.serialize import state_fingerprint
+from repro.runtime import GridRunner
+from repro.runtime.cache import ResultCache
+from repro.runtime.instrument import Instrumentation
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture(scope="module")
+def detector():
+    model = TinyDetector(rng=np.random.default_rng(0))
+    # eval mode, like every zoo model: in train mode the batch-norm running
+    # stats would shift during evaluation and (correctly) change the model's
+    # weights fingerprint, invalidating the cache between runs.
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return get_sign_testset(n_scenes=4, seed=3)
+
+
+def _grid(detector, scenes, cache, inst):
+    model_fp = state_fingerprint(detector)
+    grid = GridRunner("smoke", workers=1, cache=cache, instrumentation=inst)
+    for eps in (0.0, 0.05):
+        def cell(eps=eps):
+            if eps == 0.0:
+                return evaluate_detection(detector, scenes)
+            attack = FGSMAttack(eps=eps)
+            return evaluate_detection(detector, scenes, attack=attack)
+        grid.add(("fgsm", eps), cell,
+                 config={"eps": eps, "model": model_fp, "scenes": 4, "v": 1})
+    return grid
+
+
+def test_mini_grid_cold_then_warm(tmp_path, detector, scenes):
+    cache = ResultCache(root=str(tmp_path), enabled=True)
+    cold_inst = Instrumentation()
+    cold = _grid(detector, scenes, cache, cold_inst).run()
+    assert not any(record.cached for record in cold_inst.cells)
+    assert all(record.forward_passes > 0 for record in cold_inst.cells)
+
+    warm_inst = Instrumentation()
+    warm = _grid(detector, scenes, cache, warm_inst).run()
+    assert all(record.cached for record in warm_inst.cells)
+    for key in cold:
+        assert cold[key] == warm[key]
+
+    summary = warm_inst.summary()
+    assert summary["totals"]["cache_hits"] == len(cold)
+
+
+def test_attack_weakens_detection_or_ties(tmp_path, detector, scenes):
+    cache = ResultCache(root=str(tmp_path), enabled=False)
+    results = _grid(detector, scenes, cache, Instrumentation()).run()
+    clean = results[("fgsm", 0.0)]
+    attacked = results[("fgsm", 0.05)]
+    assert 0.0 <= attacked.map50 <= 100.0
+    assert attacked.map50 <= clean.map50 + 1e-6
+
+
+def test_attack_fingerprint_captures_hyperparameters():
+    assert attack_fingerprint(FGSMAttack(eps=0.05)) != \
+        attack_fingerprint(FGSMAttack(eps=0.06))
+    assert attack_fingerprint(FGSMAttack(eps=0.05)) == \
+        attack_fingerprint(FGSMAttack(eps=0.05))

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Fast confidence check: the smoke-marked test subset (< 1 minute).
+#
+#   tools/smoke.sh            # run the smoke tier
+#   tools/smoke.sh -x         # extra pytest args pass through
+#
+# The smoke tier covers the runtime subsystem (parallel map, result cache,
+# grid equivalence, instrumentation), defensive checkpoint loading, the
+# in-place optimizers, and one miniature end-to-end experiment grid — no
+# model training, no zoo checkpoints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+exec python -m pytest -m smoke -q "$@"
