@@ -80,6 +80,10 @@ def _run_ablations(args) -> str:
     return "\n\n".join(parts)
 
 
+def _run_fault_matrix(args) -> str:
+    return experiments.fault_matrix.render(experiments.fault_matrix.run())
+
+
 def _run_fig1(args) -> str:
     paths = viz.save_dataset_examples(args.out)
     return "Fig. 1 examples written:\n" + "\n".join(f"  {p}" for p in paths)
@@ -94,6 +98,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "table5": _run_table5,
     "overhead": _run_overhead,
     "ablations": _run_ablations,
+    "fault_matrix": _run_fault_matrix,
     "fig1": _run_fig1,
 }
 

@@ -11,6 +11,10 @@ These two entry points regenerate every number in the paper's tables:
 Both take an already-trained model so the training-time defenses
 (adversarial training, contrastive learning) plug in by passing their
 retrained model with ``attack`` unchanged.
+
+:func:`evaluate_fault_robustness` is the closed-loop analogue for the fault
+matrix (Tables IV–V style, but for sensor faults): one simulator run under a
+sensor-fault plan, summarized into JSON-cacheable safety metrics.
 """
 
 from __future__ import annotations
@@ -237,6 +241,48 @@ def evaluate_distance_on_video(model: DistanceRegressor, video,
     boxes = [frame.lead_box for frame in video.frames]
     return evaluate_distance(model, images, distances, boxes,
                              attack=attack, defense=defense)
+
+
+def summarize_simulation(result) -> Dict[str, float]:
+    """Flatten a :class:`~repro.pipeline.simulator.SimulationResult` into
+    JSON-cacheable safety metrics (one fault-matrix table row)."""
+    ticks = result.ticks
+    tracking = result.tracking_errors()
+    return {
+        "collided": bool(result.collided),
+        "min_distance": float(result.min_distance),
+        "fcw_count": int(result.fcw_count),
+        "aeb_count": int(result.aeb_count),
+        "mean_tracking_error": (float(tracking.mean()) if len(tracking)
+                                else float("nan")),
+        "fault_tick_count": int(result.fault_tick_count),
+        "rejected_count": int(result.rejected_count),
+        "degraded_tick_count": int(result.degraded_tick_count),
+        "ticks": len(ticks),
+    }
+
+
+def evaluate_fault_robustness(model, fault_factory=None,
+                              scenario=None, degradation: bool = False,
+                              seed: int = 0) -> Dict[str, float]:
+    """One closed-loop run under an optional sensor-fault plan.
+
+    ``fault_factory`` builds a fresh
+    :class:`~repro.faults.sensor.SensorFaultInjector` (fresh per run so its
+    state never leaks between grid cells); ``degradation`` enables the
+    perception watchdog + degraded-ACC ladder.  Deterministic given
+    (model, scenario, fault plan, seed) — which is what makes these cells
+    cacheable and bit-identical across serial/parallel execution.
+    """
+    from ..pipeline.simulator import ClosedLoopSimulator, ScenarioConfig
+
+    scenario = scenario if scenario is not None else ScenarioConfig()
+    simulator = ClosedLoopSimulator(model, seed=seed,
+                                    degradation=degradation)
+    faults = fault_factory() if fault_factory is not None else None
+    with scope("harness.closed_loop"):
+        result = simulator.run(scenario, faults=faults)
+    return summarize_simulation(result)
 
 
 def make_balanced_eval_frames(n_per_range: int = 40, seed: int = 123

@@ -70,6 +70,30 @@ def combined_table(rows: Sequence[Tuple[str, str, Optional[RangeErrors],
     return format_table(headers, body, title=title)
 
 
+def fault_table(rows: Sequence[Tuple[str, str, Dict[str, float]]]) -> str:
+    """Fault-robustness matrix: clean vs faulted vs faulted+degradation.
+
+    ``rows`` are (fault, mode, metrics) triples where ``metrics`` is the
+    dict produced by :func:`repro.eval.harness.summarize_simulation`.
+    """
+    body = []
+    for fault, mode, m in rows:
+        body.append([
+            fault, mode,
+            "YES" if m["collided"] else "no",
+            f"{m['min_distance']:.1f}",
+            f"{m['mean_tracking_error']:.2f}",
+            str(int(m["fcw_count"])), str(int(m["aeb_count"])),
+            str(int(m["fault_tick_count"])), str(int(m["rejected_count"])),
+            str(int(m["degraded_tick_count"])),
+        ])
+    headers = ["Fault", "Mode", "Collided", "MinDist(m)", "TrackErr(m)",
+               "FCW", "AEB", "FaultTicks", "Rejected", "DegradedTicks"]
+    return format_table(headers, body,
+                        title="FAULT MATRIX: closed-loop safety under sensor "
+                              "faults (clean vs faulted vs +degradation)")
+
+
 def table4(rows: Sequence[Tuple[str, str, DetectionMetrics]]) -> str:
     """Table IV: contrastive learning (detection only)."""
     body = [[example, attack] + format_detection(m)

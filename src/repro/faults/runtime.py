@@ -1,0 +1,110 @@
+"""Runtime-plane fault injection: make the grid executor's failure paths
+testable.
+
+``REPRO_FAULT_PLAN`` describes deliberate faults to inject into
+:func:`repro.runtime.parallel.parallel_map` workers, so the timeout / retry /
+heartbeat machinery can be exercised deterministically (unit tests, chaos
+smoke runs) instead of waiting for a real OOM kill:
+
+    REPRO_FAULT_PLAN="crash@2"            # item 2 hard-exits on attempt 0
+    REPRO_FAULT_PLAN="raise@0,hang@3"     # item 0 raises, item 3 hangs
+    REPRO_FAULT_PLAN="crash@1:attempt=1"  # item 1 crashes on its 1st retry
+
+Grammar: comma-separated ``<kind>@<index>[:attempt=<n>]`` with kind one of
+
+* ``raise`` — raise :class:`InjectedFault` inside the cell,
+* ``crash`` — ``os._exit(13)``: the worker dies without reporting (simulates
+  an OOM kill / segfault),
+* ``hang``  — sleep far beyond any per-cell timeout (simulates a wedged
+  cell; the heartbeat monitor must detect and retry it).
+
+``attempt`` defaults to 0, so by default a fault fires only on the first
+execution of the item and the *retry succeeds* — which is exactly the
+recovery path the runtime hardening promises.  Plans are read from the
+environment at call time, so forked workers inherit them for free.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: how long a "hang" sleeps; far beyond any sane per-cell timeout, but
+#: bounded so an unmonitored test can still terminate.
+HANG_SECONDS = 3600.0
+
+_KINDS = ("raise", "crash", "hang")
+
+
+class InjectedFault(RuntimeError):
+    """Deliberate failure injected by the runtime fault plan."""
+
+
+@dataclass(frozen=True)
+class RuntimeFault:
+    kind: str       # "raise" | "crash" | "hang"
+    index: int      # item index within the parallel_map batch
+    attempt: int    # which execution attempt the fault fires on
+
+
+class RuntimeFaultPlan:
+    """Parsed ``REPRO_FAULT_PLAN``; empty plan injects nothing."""
+
+    def __init__(self, faults: Tuple[RuntimeFault, ...] = ()):
+        self._by_key: Dict[Tuple[int, int], RuntimeFault] = {
+            (fault.index, fault.attempt): fault for fault in faults}
+
+    def __bool__(self) -> bool:
+        return bool(self._by_key)
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "RuntimeFaultPlan":
+        if not spec or not spec.strip():
+            return cls()
+        faults = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            head, _, tail = part.partition(":")
+            kind, _, index = head.partition("@")
+            kind = kind.strip()
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"unknown runtime fault kind {kind!r} in "
+                    f"{FAULT_PLAN_ENV}; known: {_KINDS}")
+            attempt = 0
+            if tail:
+                key, _, value = tail.partition("=")
+                if key.strip() != "attempt":
+                    raise ValueError(
+                        f"unknown runtime fault option {key!r} in "
+                        f"{FAULT_PLAN_ENV} (only 'attempt=N')")
+                attempt = int(value)
+            faults.append(RuntimeFault(kind=kind, index=int(index),
+                                       attempt=attempt))
+        return cls(tuple(faults))
+
+    @classmethod
+    def from_env(cls) -> "RuntimeFaultPlan":
+        return cls.parse(os.environ.get(FAULT_PLAN_ENV))
+
+    def lookup(self, index: int, attempt: int) -> Optional[RuntimeFault]:
+        return self._by_key.get((index, attempt))
+
+    def maybe_inject(self, index: int, attempt: int) -> None:
+        """Fire the planned fault for (item, attempt), if any.
+
+        ``raise`` raises, ``crash`` kills the process, ``hang`` sleeps.
+        """
+        fault = self.lookup(index, attempt)
+        if fault is None:
+            return
+        if fault.kind == "raise":
+            raise InjectedFault(
+                f"injected failure for item {index} attempt {attempt}")
+        if fault.kind == "crash":
+            os._exit(13)
+        if fault.kind == "hang":  # pragma: no cover - killed by the monitor
+            time.sleep(HANG_SECONDS)

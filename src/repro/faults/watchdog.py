@@ -1,0 +1,162 @@
+"""Perception watchdog: plausibility gating + graceful degradation levels.
+
+OpenPilot never feeds raw model outputs to its planner — ``radard``/the lead
+fusion layer runs plausibility checks (innovation gating against the lead
+Kalman filter, frame-to-frame consistency) and the car falls back to
+conservative behavior when perception goes stale.  This module reproduces
+that pattern for the simulator's single-camera lead pipeline:
+
+* :meth:`PerceptionWatchdog.observe` gates each measurement with three
+  checks — finiteness, an innovation bound (``|innovation| <= gate_sigma *
+  sqrt(S)`` against the tracker's predicted state), and a temporal
+  consistency bound on the implied closing speed between accepted
+  measurements.  Rejected measurements never reach the Kalman update; the
+  tracker *coasts* (predict-only), so its variance grows and confidence
+  decays with staleness.
+* :meth:`PerceptionWatchdog.level` maps staleness (seconds since the last
+  accepted measurement) to a :class:`DegradationLevel`: ``NOMINAL`` →
+  ``DEGRADED`` (longer headway, gentler accel) → ``FALLBACK`` (FCW + bounded
+  precautionary braking) → ``EMERGENCY`` (AEB-grade braking — perception has
+  been blind for too long to keep driving).
+
+The innovation gate is exactly the mechanism that also blunts temporally
+*incoherent* adversarial spikes: a single-frame perturbation that teleports
+the lead violates the same bound a sensor glitch does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a runtime faults <-> pipeline import cycle
+    from ..pipeline.tracker import LeadKalmanFilter
+
+
+class DegradationLevel(IntEnum):
+    """Ordered degradation ladder (higher = more conservative)."""
+
+    NOMINAL = 0
+    DEGRADED = 1
+    FALLBACK = 2
+    EMERGENCY = 3
+
+
+@dataclass
+class WatchdogConfig:
+    gate_sigma: float = 4.0          # innovation bound, in sqrt(S) units
+    max_closing_speed: float = 45.0  # m/s, plausibility on measurement jumps
+    degraded_after_s: float = 0.4    # staleness -> DEGRADED
+    fallback_after_s: float = 1.5    # staleness -> FALLBACK (FCW + caution)
+    emergency_after_s: float = 3.0   # staleness -> EMERGENCY (AEB)
+    fallback_decel: float = -1.5     # m/s^2 precautionary braking in FALLBACK
+    reacquire_samples: int = 3       # consistent samples that re-lock after
+                                     # a long outage (see _gate)
+    reacquire_tolerance_m: float = 5.0  # sample-to-sample slack while re-locking
+
+
+@dataclass
+class GateDecision:
+    accepted: bool
+    reason: Optional[str] = None   # "missing"|"non_finite"|"innovation"|"jump"
+    reacquired: bool = False       # caller should re-seed the tracker
+
+
+class PerceptionWatchdog:
+    """Stateful measurement gate + staleness-driven degradation ladder."""
+
+    def __init__(self, config: Optional[WatchdogConfig] = None):
+        self.config = config or WatchdogConfig()
+        self.reset()
+
+    def reset(self) -> None:
+        self.staleness_s = 0.0
+        self._last_accepted: Optional[float] = None
+        self._since_accept_s = 0.0
+        self.rejected_count = 0
+        self._candidate: Optional[float] = None
+        self._candidate_streak = 0
+
+    # -- gating ---------------------------------------------------------
+    def observe(self, measurement: Optional[float],
+                tracker: 'LeadKalmanFilter', dt: float) -> GateDecision:
+        """Gate one measurement against the tracker's predicted state.
+
+        Call *after* ``tracker.predict`` semantics apply — i.e. pass the
+        tracker before its ``update`` for this tick (``tracker.step`` with
+        the returned decision's measurement does the right thing).  A
+        decision with ``reacquired=True`` means the gate re-locked onto a
+        new track after an outage: the caller should ``tracker.reset`` to
+        the measurement instead of folding it into the stale state.
+        """
+        self._since_accept_s += dt
+        decision = self._gate(measurement, tracker, dt)
+        if decision.accepted:
+            self.staleness_s = 0.0
+            self._last_accepted = float(measurement)  # type: ignore[arg-type]
+            self._since_accept_s = 0.0
+            self._candidate = None
+            self._candidate_streak = 0
+        else:
+            self.staleness_s += dt
+            if decision.reason not in (None, "missing"):
+                self.rejected_count += 1
+        return decision
+
+    def _gate(self, measurement: Optional[float],
+              tracker: 'LeadKalmanFilter', dt: float) -> GateDecision:
+        if measurement is None:
+            self._candidate = None
+            self._candidate_streak = 0
+            return GateDecision(False, "missing")
+        if not np.isfinite(measurement):
+            self._candidate = None
+            self._candidate_streak = 0
+            return GateDecision(False, "non_finite")
+        if tracker.initialized:
+            innovation, s = tracker.innovation_stats(float(measurement))
+            if abs(innovation) > self.config.gate_sigma * np.sqrt(s):
+                return self._try_reacquire(float(measurement), dt)
+        if self._last_accepted is not None and self._since_accept_s > 0:
+            implied_speed = (abs(float(measurement) - self._last_accepted)
+                            / self._since_accept_s)
+            if implied_speed > self.config.max_closing_speed:
+                return GateDecision(False, "jump")
+        return GateDecision(True)
+
+    def _try_reacquire(self, measurement: float, dt: float) -> GateDecision:
+        """Re-lock after a long outage.
+
+        During an outage the coasting estimate can drift so far that every
+        *genuine* post-outage measurement fails the innovation gate forever.
+        So once staleness passes the FALLBACK threshold, a run of
+        ``reacquire_samples`` consecutive, mutually-consistent finite
+        measurements is trusted over the stale track: the gate accepts and
+        tells the caller to re-seed the tracker at the new measurement.
+        """
+        cfg = self.config
+        if self.staleness_s < cfg.fallback_after_s:
+            return GateDecision(False, "innovation")
+        consistent = (self._candidate is not None
+                      and abs(measurement - self._candidate)
+                      <= cfg.reacquire_tolerance_m
+                      + cfg.max_closing_speed * dt)
+        self._candidate_streak = self._candidate_streak + 1 if consistent else 1
+        self._candidate = measurement
+        if self._candidate_streak >= cfg.reacquire_samples:
+            return GateDecision(True, reacquired=True)
+        return GateDecision(False, "innovation")
+
+    # -- degradation ----------------------------------------------------
+    def level(self) -> DegradationLevel:
+        cfg = self.config
+        if self.staleness_s >= cfg.emergency_after_s:
+            return DegradationLevel.EMERGENCY
+        if self.staleness_s >= cfg.fallback_after_s:
+            return DegradationLevel.FALLBACK
+        if self.staleness_s >= cfg.degraded_after_s:
+            return DegradationLevel.DEGRADED
+        return DegradationLevel.NOMINAL

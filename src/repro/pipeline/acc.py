@@ -8,7 +8,7 @@ with feed-forward on relative speed turns gap error into the command.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 
@@ -22,6 +22,23 @@ class ACCConfig:
     cruise_gain: float = 0.4         # gain toward the set speed
     max_planned_accel: float = 2.0
     max_planned_decel: float = -3.5  # comfort braking floor (AEB goes lower)
+
+
+def degraded_config(base: Optional[ACCConfig] = None) -> ACCConfig:
+    """Conservative ACC parameters for degraded-perception operation.
+
+    When the perception watchdog reports stale/gated measurements, the car
+    should not keep driving on nominal assumptions: the degraded profile
+    lengthens the time headway, widens the standstill gap, drops the cruise
+    set speed, and halves the allowed acceleration — all monotonically more
+    cautious than the base profile.
+    """
+    cfg = base or ACCConfig()
+    return replace(cfg,
+                   time_gap_s=cfg.time_gap_s * 1.5,
+                   min_gap_m=cfg.min_gap_m + 2.0,
+                   cruise_speed=cfg.cruise_speed * 0.85,
+                   max_planned_accel=min(cfg.max_planned_accel, 1.0))
 
 
 class ACCPlanner:

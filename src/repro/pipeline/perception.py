@@ -2,13 +2,20 @@
 
 Wraps the :class:`DistanceRegressor` the way OpenPilot wraps Supercombo: the
 simulator hands it a rendered frame (possibly adversarially perturbed,
-possibly defense-purified) and gets back a distance measurement plus a
-validity flag.  An optional :class:`InputDefense` runs inline, which is how
-runtime defenses (median blur etc.) deploy in the loop.
+possibly defense-purified, possibly sensor-faulted) and gets back a distance
+measurement plus a validity flag.  An optional :class:`InputDefense` runs
+inline, which is how runtime defenses (median blur etc.) deploy in the loop.
+
+Non-finite frames (NaN/Inf pixels from a corrupt sensor transfer) are
+*dropped before inference*: a CNN fed NaNs silently emits NaN or garbage
+distances, which would otherwise flow into the tracker as a plausible
+measurement.  The drop is reported as a fault on the output so the caller
+(simulator / watchdog) can log it and coast.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Optional
 
@@ -18,12 +25,15 @@ from ..data.driving import MAX_DISTANCE
 from ..defenses.base import InputDefense
 from ..models.distance import DistanceRegressor
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class PerceptionOutput:
     distance: Optional[float]     # None when no plausible lead
     raw_distance: float           # the regressor's raw output (metres)
     defended: bool                # whether an input defense ran
+    fault: Optional[str] = None   # "non_finite_frame" / "non_finite_output"
 
 
 class PerceptionService:
@@ -35,13 +45,31 @@ class PerceptionService:
         self.model = model
         self.defense = defense
         self.no_lead_threshold = float(no_lead_threshold)
+        self.fault_count = 0
+
+    def _fault(self, kind: str, detail: str) -> PerceptionOutput:
+        self.fault_count += 1
+        logger.warning("perception fault (%s): %s; dropping measurement",
+                       kind, detail)
+        return PerceptionOutput(distance=None, raw_distance=float("nan"),
+                                defended=self.defense is not None, fault=kind)
 
     def process(self, frame: np.ndarray) -> PerceptionOutput:
         """``frame`` is one (3, H, W) image in [0, 1]."""
         batch = frame[None].astype(np.float32)
+        if not np.all(np.isfinite(batch)):
+            bad = int(batch.size - np.isfinite(batch).sum())
+            return self._fault("non_finite_frame",
+                               f"{bad} non-finite pixels in input frame")
         if self.defense is not None:
             batch = self.defense.purify(batch)
+            if not np.all(np.isfinite(batch)):
+                return self._fault("non_finite_frame",
+                                   "defense produced non-finite pixels")
         raw = float(self.model.predict(batch)[0])
+        if not np.isfinite(raw):
+            return self._fault("non_finite_output",
+                               f"regressor emitted {raw!r}")
         # Near-saturated output means "no lead" (the regressor is trained to
         # emit MAX_DISTANCE on empty roads).
         distance = None if raw >= self.no_lead_threshold else raw

@@ -2,31 +2,40 @@
 
 Ties the whole stack together at 20 Hz:
 
-    lead trajectory -> Camera -> [runtime attack] -> [input defense]
-        -> PerceptionService -> LeadKalmanFilter -> ACCPlanner
+    lead trajectory -> Camera -> [runtime attack] -> [sensor faults]
+        -> [input defense] -> PerceptionService -> [watchdog gate]
+        -> LeadKalmanFilter -> ACCPlanner (nominal or degraded)
         -> SafetyMonitor (FCW/AEB override) -> Vehicle dynamics
 
 This is the environment in which CAP-Attack was designed to operate
 (§III-E.2): the attack sees each camera frame, inherits its patch across
-frames, and tries to make the ego tailgate or collide.  The simulator logs
-everything needed to quantify safety impact: per-tick true/perceived/tracked
-distance, speeds, commands, and safety events.
+frames, and tries to make the ego tailgate or collide.  The same hook point
+also carries *sensor faults* (frame drops, stuck buffers, occlusion, noise
+bursts, NaN corruption — :mod:`repro.faults.sensor`), and an optional
+graceful-degradation path (:mod:`repro.faults.watchdog`) gates implausible
+measurements, coasts the tracker, and falls back to conservative ACC/FCW/AEB
+behavior when perception stays stale.  The simulator logs everything needed
+to quantify safety impact: per-tick true/perceived/tracked distance, speeds,
+commands, safety events, fault events, and gating decisions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..attacks.base import LossFn, regressor_loss_fn
 from ..attacks.cap import CAPAttack
 from ..defenses.base import InputDefense
+from ..faults.sensor import SensorFaultInjector
+from ..faults.watchdog import (DegradationLevel, PerceptionWatchdog,
+                               WatchdogConfig)
 from ..models.distance import DistanceRegressor
-from .acc import ACCConfig, ACCPlanner
+from .acc import ACCConfig, ACCPlanner, degraded_config
 from .camera import Camera
-from .perception import PerceptionService
+from .perception import PerceptionOutput, PerceptionService
 from .safety import SafetyLevel, SafetyMonitor
 from .tracker import LeadKalmanFilter
 from .vehicle import Vehicle, VehicleState
@@ -46,6 +55,10 @@ class TickLog:
     lead_speed: float
     commanded_accel: float
     safety_level: SafetyLevel
+    fault_events: Tuple[str, ...] = ()
+    measurement_accepted: bool = True
+    reject_reason: Optional[str] = None
+    degradation: DegradationLevel = DegradationLevel.NOMINAL
 
 
 @dataclass
@@ -55,12 +68,20 @@ class SimulationResult:
     min_distance: float
     fcw_count: int
     aeb_count: int
+    fault_tick_count: int = 0      # ticks with >= 1 sensor-fault event
+    rejected_count: int = 0        # measurements gated out (excl. "missing")
+    degraded_tick_count: int = 0   # ticks spent at DEGRADED or worse
 
     def perception_errors(self) -> np.ndarray:
         """Per-tick |perceived - true| where perception produced a value."""
         errs = [abs(t.perceived_distance - t.true_distance)
                 for t in self.ticks if t.perceived_distance is not None]
         return np.array(errs)
+
+    def tracking_errors(self) -> np.ndarray:
+        """Per-tick |tracked - true| — what the planner actually acts on."""
+        return np.array([abs(t.tracked_distance - t.true_distance)
+                         for t in self.ticks])
 
 
 @dataclass
@@ -74,22 +95,38 @@ class ScenarioConfig:
 
 
 class ClosedLoopSimulator:
-    """Runs one ACC-following scenario and returns a full log."""
+    """Runs one ACC-following scenario and returns a full log.
+
+    ``degradation`` enables the graceful-degradation path: ``True`` for the
+    default :class:`WatchdogConfig`, or a config instance.  Without it the
+    loop behaves exactly as before (raw measurements straight into the
+    Kalman filter, nominal ACC only).
+    """
 
     def __init__(self, perception_model: DistanceRegressor,
                  defense: Optional[InputDefense] = None,
                  acc_config: Optional[ACCConfig] = None,
                  safety_monitor: Optional[SafetyMonitor] = None,
-                 enable_safety: bool = True, seed: int = 0):
+                 enable_safety: bool = True, seed: int = 0,
+                 degradation: Union[bool, WatchdogConfig, None] = None):
         self.perception_model = perception_model
         self.perception = PerceptionService(perception_model, defense=defense)
         self.planner = ACCPlanner(acc_config)
         self.safety = safety_monitor or SafetyMonitor()
         self.enable_safety = enable_safety
         self.camera = Camera(seed=seed)
+        self.watchdog: Optional[PerceptionWatchdog] = None
+        self.degraded_planner: Optional[ACCPlanner] = None
+        if degradation:
+            config = (degradation if isinstance(degradation, WatchdogConfig)
+                      else None)
+            self.watchdog = PerceptionWatchdog(config)
+            self.degraded_planner = ACCPlanner(
+                degraded_config(self.planner.config))
 
     def run(self, scenario: ScenarioConfig,
-            attack: Optional[RuntimeAttack] = None) -> SimulationResult:
+            attack: Optional[RuntimeAttack] = None,
+            faults: Optional[SensorFaultInjector] = None) -> SimulationResult:
         ego = Vehicle()
         ego.state = VehicleState(position=0.0, speed=scenario.ego_speed)
         lead_position = scenario.initial_gap_m
@@ -97,6 +134,10 @@ class ClosedLoopSimulator:
         tracker = LeadKalmanFilter(initial_distance=scenario.initial_gap_m)
         tracker.reset(scenario.initial_gap_m)
         self.safety.reset()
+        if self.watchdog is not None:
+            self.watchdog.reset()
+        if faults is not None:
+            faults.reset()
 
         ticks: List[TickLog] = []
         collided = False
@@ -114,26 +155,64 @@ class ClosedLoopSimulator:
                 break
 
             frame = self.camera.capture(true_distance)
-            image = frame.image
+            image: Optional[np.ndarray] = frame.image
             if attack is not None:
                 loss_fn = regressor_loss_fn(
                     self.perception_model,
                     np.array([true_distance], dtype=np.float32))
                 image = attack(image, frame.lead_box, loss_fn)
-            perceived = self.perception.process(image)
-            estimate = tracker.step(perceived.distance, scenario.dt)
+            fault_names: Tuple[str, ...] = ()
+            if faults is not None:
+                image, events = faults.inject(image, now, step)
+                fault_names = tuple(event.fault for event in events)
+            if image is None:  # dropped frame: perception sees nothing
+                perceived = PerceptionOutput(
+                    distance=None, raw_distance=float("nan"),
+                    defended=False, fault="frame_drop")
+            else:
+                perceived = self.perception.process(image)
+
+            measurement = perceived.distance
+            accepted = measurement is not None
+            reason = perceived.fault
+            level_of_degradation = DegradationLevel.NOMINAL
+            tracker.predict(scenario.dt)
+            if self.watchdog is not None:
+                decision = self.watchdog.observe(measurement, tracker,
+                                                 scenario.dt)
+                accepted = decision.accepted
+                if decision.reacquired:
+                    # Post-outage re-lock: the coasted state is garbage;
+                    # re-seed the filter at the new track.
+                    tracker.reset(float(measurement))
+                if reason is None:
+                    reason = decision.reason
+                level_of_degradation = self.watchdog.level()
+            if (accepted and measurement is not None
+                    and np.isfinite(measurement)):
+                estimate = tracker.update(float(measurement))
+            else:
+                accepted = False
+                estimate = tracker.estimate()
 
             lead_for_planner = (estimate.distance
-                                if perceived.distance is not None
+                                if accepted
                                 or estimate.variance < 50.0 else None)
-            planned = self.planner.plan(ego.state.speed, lead_for_planner,
-                                        estimate.relative_speed)
+            planner = self.planner
+            if (self.degraded_planner is not None and
+                    level_of_degradation >= DegradationLevel.DEGRADED):
+                planner = self.degraded_planner
+            planned = planner.plan(ego.state.speed, lead_for_planner,
+                                   estimate.relative_speed)
             closing_speed = -estimate.relative_speed
             level = SafetyLevel.NOMINAL
             if self.enable_safety:
                 level = self.safety.assess(now, lead_for_planner,
                                            closing_speed)
                 planned = self.safety.override_acceleration(level, planned)
+            if self.watchdog is not None:
+                planned, level = self._degradation_override(
+                    level_of_degradation, planned, level)
             ego.step(planned, scenario.dt)
 
             ticks.append(TickLog(
@@ -141,15 +220,42 @@ class ClosedLoopSimulator:
                 perceived_distance=perceived.distance,
                 tracked_distance=estimate.distance,
                 ego_speed=ego.state.speed, lead_speed=lead_speed,
-                commanded_accel=planned, safety_level=level))
+                commanded_accel=planned, safety_level=level,
+                fault_events=fault_names,
+                measurement_accepted=accepted,
+                reject_reason=reason,
+                degradation=level_of_degradation))
 
-        fcw = sum(1 for e in self.safety.events
-                  if e.level is SafetyLevel.WARNING)
-        aeb = sum(1 for e in self.safety.events
-                  if e.level is SafetyLevel.EMERGENCY)
-        return SimulationResult(ticks=ticks, collided=collided,
-                                min_distance=min_distance,
-                                fcw_count=fcw, aeb_count=aeb)
+        fcw = sum(1 for t in ticks if t.safety_level is SafetyLevel.WARNING)
+        aeb = sum(1 for t in ticks if t.safety_level is SafetyLevel.EMERGENCY)
+        return SimulationResult(
+            ticks=ticks, collided=collided, min_distance=min_distance,
+            fcw_count=fcw, aeb_count=aeb,
+            fault_tick_count=sum(1 for t in ticks if t.fault_events),
+            rejected_count=sum(
+                1 for t in ticks if not t.measurement_accepted
+                and t.reject_reason not in (None, "missing")),
+            degraded_tick_count=sum(
+                1 for t in ticks
+                if t.degradation >= DegradationLevel.DEGRADED))
+
+    def _degradation_override(self, level_of_degradation: DegradationLevel,
+                              planned: float, level: SafetyLevel
+                              ) -> Tuple[float, SafetyLevel]:
+        """Escalate when perception has been stale too long.
+
+        FALLBACK: precautionary bounded braking + at least an FCW.
+        EMERGENCY: AEB-grade braking — the car cannot keep cruising blind.
+        """
+        assert self.watchdog is not None
+        if level_of_degradation is DegradationLevel.FALLBACK:
+            planned = min(planned, self.watchdog.config.fallback_decel)
+            if level is SafetyLevel.NOMINAL:
+                level = SafetyLevel.WARNING
+        elif level_of_degradation is DegradationLevel.EMERGENCY:
+            planned = min(planned, self.safety.config.aeb_decel)
+            level = SafetyLevel.EMERGENCY
+        return planned, level
 
 
 def make_cap_runtime_attack(cap: CAPAttack) -> RuntimeAttack:

@@ -48,6 +48,23 @@ class LeadKalmanFilter:
         g = np.array([0.5 * dt * dt, dt])
         self.p = f @ self.p @ f.T + self.q * np.outer(g, g)
 
+    @property
+    def initialized(self) -> bool:
+        """True once at least one measurement has been folded in."""
+        return self._initialized
+
+    def innovation_stats(self, measured_distance: float
+                         ) -> Tuple[float, float]:
+        """Innovation and its variance S for a would-be update.
+
+        Read-only: lets a plausibility gate (the perception watchdog) test
+        ``|innovation| <= k * sqrt(S)`` before committing to ``update``.
+        Call after ``predict`` so S reflects the current prediction.
+        """
+        innovation = float(measured_distance - self.x[0])
+        s = float(self.p[0, 0] + self.r)
+        return innovation, s
+
     def update(self, measured_distance: float) -> LeadEstimate:
         if not self._initialized:
             self.x[0] = measured_distance

@@ -12,21 +12,27 @@ independent; this package is the engine every experiment runs on:
 
 Environment knobs: ``REPRO_WORKERS`` (worker count; default all cores),
 ``REPRO_CACHE_DIR`` (cache root), ``REPRO_RESULT_CACHE=0`` (disable the
-result cache), ``REPRO_BENCH_JSON`` (instrumentation export path).
+result cache), ``REPRO_CACHE_MAX_MB`` (LRU size budget for the cell cache),
+``REPRO_BENCH_JSON`` (instrumentation export path), ``REPRO_CELL_TIMEOUT``
+(per-cell heartbeat timeout, seconds), ``REPRO_MAX_RETRIES`` (retry budget
+for crashed/hung/failed cells), ``REPRO_FAULT_PLAN`` (deliberate worker
+faults for testing — see :mod:`repro.faults.runtime`).
 """
 
 from .cache import (ResultCache, array_fingerprint, cache_enabled,
-                    default_cache, fingerprint)
+                    cache_max_bytes, default_cache, fingerprint)
 from .grid import GridRunner
 from .instrument import (CellRecord, Instrumentation, export_bench,
                          get_instrumentation, scope)
-from .parallel import (WorkerError, fork_available, parallel_map, stable_seed,
-                       worker_count)
+from .parallel import (WorkerError, cell_timeout, fork_available, max_retries,
+                       parallel_map, stable_seed, worker_count)
 
 __all__ = [
     "GridRunner", "ResultCache", "parallel_map", "worker_count",
-    "fork_available", "stable_seed", "WorkerError",
-    "array_fingerprint", "cache_enabled", "default_cache", "fingerprint",
+    "fork_available", "stable_seed", "WorkerError", "cell_timeout",
+    "max_retries",
+    "array_fingerprint", "cache_enabled", "cache_max_bytes", "default_cache",
+    "fingerprint",
     "CellRecord", "Instrumentation", "export_bench", "get_instrumentation",
     "scope",
 ]

@@ -13,7 +13,10 @@ the cells whose inputs changed.  Corrupt entries degrade to misses, exactly
 like the model zoo.
 
 Layout: ``$REPRO_CACHE_DIR/cells/<name>-<fingerprint>.{npz,json}`` next to
-the model zoo's checkpoints.  Disable with ``REPRO_RESULT_CACHE=0``.
+the model zoo's checkpoints.  Disable with ``REPRO_RESULT_CACHE=0``.  The
+directory grows monotonically by default; set ``REPRO_CACHE_MAX_MB`` to
+bound it — :meth:`ResultCache.sweep` (run after every grid) evicts
+least-recently-used entries until the budget holds.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from . import codecs
 logger = logging.getLogger(__name__)
 
 CACHE_TOGGLE_ENV = "REPRO_RESULT_CACHE"
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 
 def _default_root() -> str:
@@ -45,6 +49,23 @@ def _default_root() -> str:
 
 def cache_enabled() -> bool:
     return os.environ.get(CACHE_TOGGLE_ENV, "1") != "0"
+
+
+def cache_max_bytes() -> Optional[int]:
+    """Size budget for ``.cache/cells`` from ``REPRO_CACHE_MAX_MB``.
+
+    ``None`` (unset or non-positive) disables the GC sweep.
+    """
+    env = os.environ.get(CACHE_MAX_MB_ENV)
+    if not env:
+        return None
+    try:
+        megabytes = float(env)
+    except ValueError:
+        raise ValueError(f"{CACHE_MAX_MB_ENV} must be a number, got {env!r}")
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
 
 
 def fingerprint(config: Dict[str, Any]) -> str:
@@ -87,10 +108,12 @@ class ResultCache:
             return None
         try:
             with np.load(path) as archive:
-                return {key: archive[key] for key in archive.files}
+                arrays = {key: archive[key] for key in archive.files}
         except CHECKPOINT_ERRORS as error:
             self._discard(path, error)
             return None
+        self._touch(path)
+        return arrays
 
     def save_arrays(self, name: str, config: Dict[str, Any],
                     arrays: Dict[str, np.ndarray]) -> None:
@@ -121,11 +144,13 @@ class ResultCache:
             return None
         try:
             with open(path) as handle:
-                return codecs.from_jsonable(json.load(handle))
+                value = codecs.from_jsonable(json.load(handle))
         except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
                 ValueError, OSError) as error:
             self._discard(path, error)
             return None
+        self._touch(path)
+        return value
 
     def save_json(self, name: str, config: Dict[str, Any], value: Any) -> None:
         if not self.enabled:
@@ -146,7 +171,61 @@ class ResultCache:
         self.save_json(name, config, value)
         return value
 
+    # -- GC: max-size LRU sweep -----------------------------------------
+    def sweep(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the cache fits the budget.
+
+        Budget: explicit ``max_bytes`` > ``REPRO_CACHE_MAX_MB`` env var >
+        disabled.  Recency is ``max(atime, mtime)`` — loads touch their
+        entry, so the ordering is LRU even on ``relatime``/``noatime``
+        mounts.  Evictions are atomic per entry (``os.remove``); races with
+        concurrent writers/readers degrade to cache misses, never to
+        corruption.  Returns the number of evicted entries.
+        """
+        if max_bytes is None:
+            max_bytes = cache_max_bytes()
+        if max_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        try:
+            with os.scandir(self.root) as scan:
+                for entry in scan:
+                    if not entry.is_file() or entry.name.endswith(".tmp"):
+                        continue
+                    stat = entry.stat()
+                    recency = max(stat.st_atime, stat.st_mtime)
+                    entries.append((recency, stat.st_size, entry.path))
+                    total += stat.st_size
+        except OSError:
+            return 0
+        if total <= max_bytes:
+            return 0
+        evicted = 0
+        for recency, size, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            logger.info("cache GC: evicted %d LRU entries (%.1f MB now "
+                        "under the %.1f MB budget)", evicted,
+                        total / 2 ** 20, max_bytes / 2 ** 20)
+        return evicted
+
     # -- shared ---------------------------------------------------------
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Mark an entry as recently used (LRU recency for :meth:`sweep`)."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing eviction
+            pass
+
     @staticmethod
     def _discard(path: str, error: Exception) -> None:
         logger.warning("cached result %s is unreadable (%s: %s); treating "

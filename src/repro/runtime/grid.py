@@ -107,7 +107,14 @@ class GridRunner:
 
     # -- execution ------------------------------------------------------
     def run(self) -> Dict[Hashable, Any]:
-        """Execute every declared cell; returns ``{key: result}``."""
+        """Execute every declared cell; returns ``{key: result}``.
+
+        Results are checkpointed into the cache *as each cell completes*
+        (the ``on_result`` hook fires in the parent), so a run killed or
+        crashed mid-grid resumes from the completed cells on the next
+        invocation — and, cells being deterministic, the resumed grid is
+        bit-identical to an uninterrupted one.
+        """
         results: Dict[Hashable, Any] = {}
         pending: List[_Cell] = []
         for cell in self._cells:
@@ -121,13 +128,17 @@ class GridRunner:
                 pending.append(cell)
 
         if pending:
+            def checkpoint(index: int, outcome) -> None:
+                self._store(pending[index], outcome[0])
+
             outcomes = parallel_map(_execute_cell, pending,
-                                    workers=self.workers)
+                                    workers=self.workers,
+                                    on_result=checkpoint)
             for cell, (result, record) in zip(pending, outcomes):
                 record.grid = self.name
                 results[cell.key] = result
-                self._store(cell, result)
                 self.instrumentation.record_cell(record)
+        self.cache.sweep()
         return results
 
 

@@ -1,4 +1,4 @@
-"""Process-parallel map over independent experiment cells.
+"""Process-parallel map over independent experiment cells, hardened.
 
 The experiment grids (attack × defense × model) are embarrassingly parallel:
 every cell constructs its own attack/defense objects with fixed seeds and
@@ -7,14 +7,27 @@ only *reads* the shared models.  :func:`parallel_map` fans such cells across
 
 * **fork, not spawn** — cells are closures over live models and datasets;
   fork inherits them for free, so nothing but the *results* ever crosses a
-  process boundary (as pickles through a queue).
+  process boundary (as pickles through per-worker pipes; private pipes mean
+  a dying worker cannot wedge its siblings on a shared queue lock).
 * **deterministic** — cells carry their own seeds, so scheduling order
   cannot change results; the output list is always in input order and
   bit-identical to the serial path (asserted in
   ``tests/runtime/test_grid_equivalence.py``).
+* **robust** — a dynamic task queue with per-cell heartbeats: a worker that
+  *crashes* (OOM kill, segfault) or *hangs* past ``REPRO_CELL_TIMEOUT`` is
+  detected, its in-flight cell is retried up to ``REPRO_MAX_RETRIES`` times
+  (cells are deterministic, so a retry is bit-identical to an uninterrupted
+  run), and a replacement worker is spawned.  ``REPRO_FAULT_PLAN``
+  (:mod:`repro.faults.runtime`) injects deliberate crashes/hangs/raises so
+  this machinery is itself testable.
+* **checkpointable** — ``on_result`` fires in the parent as each cell
+  completes, letting :class:`~repro.runtime.grid.GridRunner` persist
+  results incrementally; a killed run resumes from the result cache.
 * **graceful fallback** — ``REPRO_WORKERS=1``, a single-item batch, or a
   platform without ``fork`` (Windows spawn cannot ship closures) all take
-  the plain serial loop.
+  the plain serial loop (which still honours retries for raised faults;
+  crash/hang injections are skipped serially since they cannot be
+  recovered in-process).
 
 Worker count resolution: explicit argument > ``REPRO_WORKERS`` env var >
 ``os.cpu_count()``.
@@ -23,16 +36,30 @@ Worker count resolution: explicit argument > ``REPRO_WORKERS`` env var >
 from __future__ import annotations
 
 import hashlib
+import logging
 import multiprocessing as mp
 import os
-import queue as queue_module
+import time
 import traceback
-from typing import Callable, List, Optional, Sequence, TypeVar
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import (TYPE_CHECKING, Callable, Deque, List, Optional, Sequence,
+                    Set, Tuple, TypeVar)
+
+if TYPE_CHECKING:  # imported lazily at runtime: faults.sensor needs
+    from ..faults.runtime import RuntimeFaultPlan  # stable_seed from here
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
+logger = logging.getLogger(__name__)
+
 WORKERS_ENV = "REPRO_WORKERS"
+TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+RETRIES_ENV = "REPRO_MAX_RETRIES"
+
+DEFAULT_MAX_RETRIES = 2
+_POLL_S = 0.05
 
 
 def worker_count(workers: Optional[int] = None) -> int:
@@ -46,6 +73,36 @@ def worker_count(workers: Optional[int] = None) -> int:
         except ValueError:
             raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}")
     return os.cpu_count() or 1
+
+
+def cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-cell wall-clock budget in seconds; ``None`` disables the monitor.
+
+    Explicit argument > ``REPRO_CELL_TIMEOUT`` env var > disabled.
+    """
+    if timeout is not None:
+        return float(timeout) if timeout > 0 else None
+    env = os.environ.get(TIMEOUT_ENV)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(f"{TIMEOUT_ENV} must be a number, got {env!r}")
+        return value if value > 0 else None
+    return None
+
+
+def max_retries(retries: Optional[int] = None) -> int:
+    """How many times a failed/crashed/hung cell is re-attempted (>= 0)."""
+    if retries is not None:
+        return max(0, int(retries))
+    env = os.environ.get(RETRIES_ENV)
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            raise ValueError(f"{RETRIES_ENV} must be an integer, got {env!r}")
+    return DEFAULT_MAX_RETRIES
 
 
 def fork_available() -> bool:
@@ -67,7 +124,7 @@ def stable_seed(*parts, base: int = 0) -> int:
 
 
 class WorkerError(RuntimeError):
-    """A cell raised inside a worker process; carries the remote traceback."""
+    """A cell failed in a worker after exhausting retries."""
 
     def __init__(self, index: int, remote_traceback: str):
         super().__init__(
@@ -76,73 +133,208 @@ class WorkerError(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
+OnResult = Callable[[int, Result], None]
+
+
 def parallel_map(fn: Callable[[Item], Result], items: Sequence[Item],
-                 workers: Optional[int] = None) -> List[Result]:
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 on_result: Optional[OnResult] = None) -> List[Result]:
     """``[fn(item) for item in items]``, fanned across forked processes.
 
-    Results are returned in input order.  Any exception inside a worker is
-    re-raised in the parent as :class:`WorkerError` with the remote
-    traceback; a worker that dies without reporting (e.g. a hard crash)
-    raises ``RuntimeError`` instead of hanging.
+    Results are returned in input order.  A cell that raises, whose worker
+    dies (hard crash / OOM kill), or that exceeds the per-cell ``timeout``
+    is retried up to ``retries`` times; once the budget is exhausted the
+    parent raises :class:`WorkerError` carrying the remote traceback (or a
+    synthesized one for crashes/hangs).  ``on_result(index, result)`` runs
+    in the parent as each item completes — the checkpoint hook.
     """
+    from ..faults.runtime import RuntimeFaultPlan
+
     items = list(items)
     n_workers = min(worker_count(workers), len(items))
+    budget = max_retries(retries)
+    plan = RuntimeFaultPlan.from_env()
     if n_workers <= 1 or not fork_available():
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, budget, plan, on_result)
+    return _forked_map(fn, items, n_workers, cell_timeout(timeout), budget,
+                       plan, on_result)
 
+
+def _serial_map(fn, items, budget: int, plan: "RuntimeFaultPlan",
+                on_result: Optional[OnResult]) -> List:
+    """In-process fallback; retries raised faults, re-raising the last one."""
+    results = []
+    for index, item in enumerate(items):
+        for attempt in range(budget + 1):
+            try:
+                fault = plan.lookup(index, attempt)
+                if fault is not None and fault.kind != "raise":
+                    logger.warning(
+                        "serial parallel_map cannot inject %r for item %d "
+                        "(needs >= 2 workers); skipping", fault.kind, index)
+                else:
+                    plan.maybe_inject(index, attempt)
+                result = fn(item)
+                break
+            except Exception:
+                if attempt >= budget:
+                    raise
+                logger.warning("item %d failed on attempt %d; retrying",
+                               index, attempt, exc_info=True)
+        results.append(result)
+        if on_result is not None:
+            on_result(index, result)
+    return results
+
+
+def _worker_loop(conn, fn, items) -> None:
+    """Worker: execute (index, attempt) tasks from the parent's pipe.
+
+    Each worker owns a private duplex pipe — no locks are shared between
+    workers, so a worker dying mid-operation (hard crash) cannot wedge its
+    siblings; the parent sees EOF on this worker's pipe and reschedules.
+    """
+    from ..faults.runtime import RuntimeFaultPlan
+
+    plan = RuntimeFaultPlan.from_env()
+    while True:
+        try:
+            task = conn.recv()
+        except EOFError:  # parent is gone
+            return
+        if task is None:
+            return
+        index, attempt = task
+        try:
+            plan.maybe_inject(index, attempt)
+            result = fn(items[index])
+        except BaseException:
+            conn.send((index, attempt, False, traceback.format_exc()))
+        else:
+            conn.send((index, attempt, True, result))
+
+
+class _Worker:
+    """Parent-side handle: process + private pipe + currently assigned task."""
+
+    def __init__(self, ctx, fn, items):
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_loop,
+                                   args=(child_conn, fn, items), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[Tuple[int, int]] = None  # (index, attempt)
+        self.started_at = 0.0
+
+    def assign(self, task: Tuple[int, int]) -> None:
+        self.task = task
+        self.started_at = time.monotonic()
+        self.conn.send(task)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join()
+        self.conn.close()
+
+
+def _forked_map(fn, items, n_workers: int, timeout: Optional[float],
+                budget: int, plan: "RuntimeFaultPlan",
+                on_result: Optional[OnResult]) -> List:
     ctx = mp.get_context("fork")
-    results_queue: mp.Queue = ctx.Queue()
+    pending: Deque[Tuple[int, int]] = deque(
+        (index, 0) for index in range(len(items)))
+    workers: List[_Worker] = [_Worker(ctx, fn, items)
+                              for _ in range(n_workers)]
 
-    def _worker(worker_id: int) -> None:
-        # Strided assignment keeps the work distribution deterministic.
-        for index in range(worker_id, len(items), n_workers):
-            try:
-                results_queue.put((index, True, fn(items[index])))
-            except BaseException:
-                results_queue.put((index, False, traceback.format_exc()))
-
-    processes = [ctx.Process(target=_worker, args=(w,), daemon=True)
-                 for w in range(n_workers)]
-    for process in processes:
-        process.start()
-
-    results: List[Optional[Result]] = [None] * len(items)
-    received = 0
+    results: List = [None] * len(items)
+    unfinished: Set[int] = set(range(len(items)))
+    # Each respawn corresponds to a consumed attempt, so the budget is
+    # bounded; the cap below is a backstop against pathological loops.
+    respawn_budget = len(items) * (budget + 1)
     failure: Optional[WorkerError] = None
+
+    def retry_or_fail(index: int, attempt: int, reason: str) -> None:
+        nonlocal failure
+        if index not in unfinished:
+            return  # completed just before we decided it was lost
+        if attempt < budget:
+            logger.warning("cell %d %s on attempt %d; retrying", index,
+                           reason, attempt)
+            pending.append((index, attempt + 1))
+        elif failure is None:
+            failure = WorkerError(index, f"{reason} (after {attempt + 1} "
+                                         f"attempts, no retries left)")
+
+    def replace(worker: _Worker, reason: str) -> None:
+        """Kill a crashed/hung worker, reschedule its task, spawn a spare."""
+        nonlocal respawn_budget
+        worker.kill()
+        workers.remove(worker)
+        if worker.task is not None:
+            index, attempt = worker.task
+            retry_or_fail(index, attempt, reason)
+        if unfinished and failure is None:
+            if respawn_budget <= 0:  # pragma: no cover - backstop
+                raise RuntimeError("parallel_map respawn budget exhausted "
+                                   "(workers keep dying)")
+            respawn_budget -= 1
+            workers.append(_Worker(ctx, fn, items))
+
     try:
-        while received < len(items):
-            try:
-                index, ok, payload = results_queue.get(timeout=1.0)
-            except queue_module.Empty:
-                if not any(p.is_alive() for p in processes):
-                    # Drain anything that raced with the liveness check.
-                    try:
-                        while received < len(items):
-                            index, ok, payload = results_queue.get_nowait()
-                            received += 1
-                            if ok:
-                                results[index] = payload
-                            elif failure is None:
-                                failure = WorkerError(index, payload)
-                    except queue_module.Empty:
-                        pass
-                    if received < len(items) and failure is None:
-                        raise RuntimeError(
-                            "parallel_map worker died without reporting a "
-                            "result (possible hard crash / OOM kill)")
-                    break
+        while unfinished and failure is None:
+            for worker in workers:
+                if worker.task is None and pending:
+                    worker.assign(pending.popleft())
+            busy = {worker.conn: worker for worker in workers
+                    if worker.task is not None}
+            if not busy:  # everything in flight was lost; loop to reassign
                 continue
-            received += 1
-            if ok:
-                results[index] = payload
-            elif failure is None:
-                failure = WorkerError(index, payload)
+            ready = mp_connection.wait(list(busy), timeout=_POLL_S)
+            for conn in ready:
+                worker = busy[conn]
+                try:
+                    index, attempt, ok, payload = conn.recv()
+                except (EOFError, OSError):  # hard crash (OOM kill, segv)
+                    replace(worker, "worker died "
+                                    f"(exit code {worker.process.exitcode})")
+                    continue
+                worker.task = None
+                if index not in unfinished:
+                    continue  # stale duplicate from a raced retry
+                if ok:
+                    unfinished.discard(index)
+                    results[index] = payload
+                    if on_result is not None:
+                        on_result(index, payload)
+                else:
+                    retry_or_fail(index, attempt, f"raised:\n{payload}")
+            if timeout is not None:
+                now = time.monotonic()
+                for worker in [w for w in workers if w.task is not None]:
+                    if now - worker.started_at > timeout:
+                        index, _ = worker.task
+                        logger.warning(
+                            "cell %d exceeded %.1fs heartbeat timeout; "
+                            "killing its worker", index, timeout)
+                        replace(worker,
+                                f"timed out after {timeout:.1f}s")
     finally:
-        for process in processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join()
+        for worker in workers:
+            worker.shutdown()
+        deadline = time.monotonic() + 5.0
+        for worker in workers:
+            worker.process.join(
+                timeout=max(0.1, deadline - time.monotonic()))
+            worker.kill()
     if failure is not None:
         raise failure
     return results

@@ -1,0 +1,153 @@
+"""Closed-loop fault injection: safety impact, graceful degradation, the
+NaN containment guarantee, and serial/parallel/cached determinism."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import evaluate_fault_robustness, summarize_simulation
+from repro.experiments.fault_matrix import FAULT_SPECS, make_scenario
+from repro.faults import SensorFaultInjector, from_spec
+from repro.faults.sensor import CorruptFrame
+from repro.models.zoo import get_regressor
+from repro.pipeline import ClosedLoopSimulator
+from repro.pipeline.perception import PerceptionService
+from repro.runtime import GridRunner, ResultCache, parallel_map
+from repro.runtime.parallel import fork_available
+
+pytestmark = pytest.mark.faults
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    return get_regressor()
+
+
+class TestNanContainment:
+    """Satellite bugfix: NaN/Inf frames must never reach the regressor."""
+
+    def test_nan_frame_dropped_with_fault_event(self, regressor):
+        service = PerceptionService(regressor)
+        frame = np.full((3, 64, 64), np.nan, dtype=np.float32)
+        out = service.process(frame)
+        assert out.distance is None
+        assert out.fault == "non_finite_frame"
+        assert service.fault_count == 1
+
+    def test_inf_frame_dropped(self, regressor):
+        service = PerceptionService(regressor)
+        frame = np.zeros((3, 64, 64), dtype=np.float32)
+        frame[0, 0, 0] = np.inf
+        assert service.process(frame).fault == "non_finite_frame"
+
+    def test_clean_frame_unaffected(self, regressor):
+        service = PerceptionService(regressor)
+        frame = np.random.default_rng(0).uniform(
+            0, 1, (3, 64, 64)).astype(np.float32)
+        out = service.process(frame)
+        assert out.fault is None
+        assert np.isfinite(out.raw_distance)
+        assert service.fault_count == 0
+
+    def test_closed_loop_never_tracks_nan(self, regressor):
+        injector = SensorFaultInjector(
+            [CorruptFrame(start_s=2.0, end_s=8.0, fraction=0.05)], seed=0)
+        sim = ClosedLoopSimulator(regressor, seed=1)
+        scenario = make_scenario()
+        scenario.duration_s = 10.0
+        result = sim.run(scenario, faults=injector)
+        assert all(np.isfinite(t.tracked_distance) for t in result.ticks)
+        assert sim.perception.fault_count > 0
+
+
+class TestGracefulDegradation:
+    """ISSUE acceptance (a)+(b) on the fault-matrix scenario itself."""
+
+    def run_mode(self, regressor, spec, degradation):
+        return evaluate_fault_robustness(
+            regressor, fault_factory=lambda: from_spec(spec, seed=0),
+            scenario=make_scenario(), degradation=degradation, seed=0)
+
+    def test_frame_drops_degrade_safety_without_handling(self, regressor):
+        faulted = self.run_mode(regressor, FAULT_SPECS["frame_drop"], False)
+        clean = evaluate_fault_robustness(regressor,
+                                          scenario=make_scenario(), seed=0)
+        assert faulted["collided"] or (
+            faulted["min_distance"] < clean["min_distance"] - 2.0)
+
+    def test_degradation_recovers_safety_margin(self, regressor):
+        faulted = self.run_mode(regressor, FAULT_SPECS["frame_drop"], False)
+        degraded = self.run_mode(regressor, FAULT_SPECS["frame_drop"], True)
+        assert not degraded["collided"]
+        assert degraded["min_distance"] > max(2.0, faulted["min_distance"])
+        assert degraded["degraded_tick_count"] > 0
+
+    def test_watchdog_rejections_logged(self, regressor):
+        degraded = self.run_mode(regressor, FAULT_SPECS["nan_frames"], True)
+        assert degraded["rejected_count"] > 0
+        assert degraded["fault_tick_count"] > 0
+
+
+class TestFaultedRunDeterminism:
+    """Same seed + same fault plan => identical SimulationResult across
+    serial, forked-parallel, and cached execution (ISSUE satellite #3)."""
+
+    SPEC = "occlusion@3-6:fraction=0.5;noise_burst@7-9:sigma=0.4"
+
+    def summary(self, regressor, seed=0):
+        return evaluate_fault_robustness(
+            regressor, fault_factory=lambda: from_spec(self.SPEC, seed=seed),
+            scenario=make_scenario(), degradation=True, seed=seed)
+
+    def test_serial_rerun_identical(self, regressor):
+        assert self.summary(regressor) == self.summary(regressor)
+
+    @needs_fork
+    def test_parallel_matches_serial(self, regressor):
+        serial = parallel_map(lambda s: self.summary(regressor, s), [0, 1],
+                              workers=1)
+        forked = parallel_map(lambda s: self.summary(regressor, s), [0, 1],
+                              workers=2)
+        assert serial == forked
+
+    def test_cached_matches_fresh(self, regressor, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cells"), enabled=True)
+
+        def build():
+            grid = GridRunner("faultdet", workers=1, cache=cache)
+            grid.add("cell", lambda: self.summary(regressor),
+                     config={"spec": self.SPEC, "seed": 0, "v": 1})
+            return grid
+
+        fresh = build().run()["cell"]
+        cached = build().run()["cell"]
+        assert fresh == cached == self.summary(regressor)
+
+    def test_simulator_tick_stream_identical(self, regressor):
+        def run():
+            sim = ClosedLoopSimulator(regressor, seed=3, degradation=True)
+            scenario = make_scenario()
+            scenario.duration_s = 8.0
+            return sim.run(scenario,
+                           faults=from_spec(self.SPEC, seed=3))
+
+        a, b = run(), run()
+        assert summarize_simulation(a) == summarize_simulation(b)
+        for ta, tb in zip(a.ticks, b.ticks):
+            assert ta == tb
+
+
+@pytest.mark.smoke
+def test_fault_scenario_end_to_end(regressor):
+    """One compact end-to-end fault scenario for the smoke tier: inject,
+    degrade, survive, and report every new counter."""
+    result_dict = evaluate_fault_robustness(
+        regressor,
+        fault_factory=lambda: from_spec("frame_drop@2-5", seed=0),
+        scenario=make_scenario(), degradation=True, seed=0)
+    assert not result_dict["collided"]
+    assert result_dict["fault_tick_count"] == 60
+    assert result_dict["degraded_tick_count"] > 0
+    assert result_dict["ticks"] > 0

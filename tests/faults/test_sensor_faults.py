@@ -1,0 +1,166 @@
+"""Sensor-plane fault models: behavior, determinism, spec parsing."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (CorruptFrame, ExposureShift, FrameDrop, NoiseBurst,
+                          PartialOcclusion, SensorFaultInjector, StuckFrame,
+                          make_fault)
+from repro.faults.sensor import FAULT_REGISTRY, from_spec
+
+pytestmark = pytest.mark.faults
+
+
+def frame(value=0.5, size=8):
+    return np.full((3, size, size), value, dtype=np.float32)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.mark.smoke
+class TestFaultModels:
+    def test_frame_drop_returns_none(self):
+        assert FrameDrop().apply(frame(), None, rng()) is None
+
+    def test_stuck_frame_replays_last(self):
+        last = frame(0.9)
+        out = StuckFrame().apply(frame(0.1), last, rng())
+        np.testing.assert_array_equal(out, last)
+        assert out is not last  # a copy, not the live buffer
+
+    def test_stuck_frame_passes_through_without_history(self):
+        image = frame(0.1)
+        assert StuckFrame().apply(image, None, rng()) is image
+
+    def test_occlusion_covers_requested_fraction(self):
+        out = PartialOcclusion(fraction=0.5, value=0.0).apply(
+            frame(1.0, size=16), None, rng())
+        occluded = (out == 0.0).sum()
+        assert occluded == 3 * 8 * 8  # 0.5^2 of each channel
+
+    def test_exposure_scales_and_clips(self):
+        out = ExposureShift(gain=0.25).apply(frame(0.8), None, rng())
+        np.testing.assert_allclose(out, 0.2)
+        bright = ExposureShift(gain=10.0).apply(frame(0.8), None, rng())
+        assert bright.max() <= 1.0
+
+    def test_noise_burst_stays_in_range(self):
+        out = NoiseBurst(sigma=0.5).apply(frame(0.5), None, rng())
+        assert not np.array_equal(out, frame(0.5))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_corrupt_frame_nan_and_inf(self):
+        nan_out = CorruptFrame(fraction=0.1).apply(frame(), None, rng())
+        assert np.isnan(nan_out).sum() == round(nan_out.size * 0.1)
+        inf_out = CorruptFrame(fraction=0.1, mode="inf").apply(
+            frame(), None, rng())
+        assert np.isinf(inf_out).sum() == round(inf_out.size * 0.1)
+
+    def test_corrupt_frame_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            CorruptFrame(mode="zero")
+
+    def test_window_bounds_firing(self):
+        fault = FrameDrop(start_s=2.0, end_s=4.0)
+        assert not fault.fires(1.9, rng())
+        assert fault.fires(2.0, rng())
+        assert fault.fires(3.9, rng())
+        assert not fault.fires(4.0, rng())
+
+    def test_probability_is_respected(self):
+        fault = FrameDrop(probability=0.5)
+        fires = [fault.fires(0.0, rng(i)) for i in range(200)]
+        assert 0.3 < np.mean(fires) < 0.7
+
+
+@pytest.mark.smoke
+class TestInjectorDeterminism:
+    def make(self, seed=7):
+        return SensorFaultInjector(
+            [PartialOcclusion(fraction=0.4), NoiseBurst(sigma=0.3),
+             FrameDrop(probability=0.2)], seed=seed)
+
+    def run_stream(self, injector, n=40):
+        injector.reset()
+        frames = []
+        for tick in range(n):
+            out, _ = injector.inject(frame(0.5), tick * 0.05, tick)
+            frames.append(None if out is None else out.copy())
+        return frames
+
+    def test_same_seed_bit_identical(self):
+        a = self.run_stream(self.make())
+        b = self.run_stream(self.make())
+        for x, y in zip(a, b):
+            if x is None:
+                assert y is None
+            else:
+                np.testing.assert_array_equal(x, y)
+
+    def test_reset_replays_identically(self):
+        injector = self.make()
+        a = self.run_stream(injector)
+        b = self.run_stream(injector)  # run_stream resets first
+        for x, y in zip(a, b):
+            if x is None:
+                assert y is None
+            else:
+                np.testing.assert_array_equal(x, y)
+
+    def test_different_seed_differs(self):
+        a = self.run_stream(self.make(seed=1))
+        b = self.run_stream(self.make(seed=2))
+        assert any(
+            (x is None) != (y is None)
+            or (x is not None and not np.array_equal(x, y))
+            for x, y in zip(a, b))
+
+    def test_events_logged_in_declaration_order(self):
+        injector = SensorFaultInjector(
+            [ExposureShift(gain=0.5), NoiseBurst(sigma=0.1)], seed=0)
+        _, events = injector.inject(frame(), 0.0, 0)
+        assert [e.fault for e in events] == ["exposure", "noise_burst"]
+
+    def test_drop_short_circuits_later_faults(self):
+        injector = SensorFaultInjector(
+            [FrameDrop(), NoiseBurst(sigma=0.1)], seed=0)
+        out, events = injector.inject(frame(), 0.0, 0)
+        assert out is None
+        assert [e.fault for e in events] == ["frame_drop"]
+
+
+@pytest.mark.smoke
+class TestSpecParsing:
+    def test_registry_covers_all_faults(self):
+        assert set(FAULT_REGISTRY) == {"frame_drop", "stuck_frame",
+                                       "occlusion", "exposure",
+                                       "noise_burst", "nan_frames"}
+
+    def test_make_fault_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown sensor fault"):
+            make_fault("lens_flare")
+
+    def test_full_grammar(self):
+        injector = from_spec(
+            "frame_drop@4-6;noise_burst@8-12:sigma=0.4,probability=0.5",
+            seed=3)
+        drop, noise = injector.faults
+        assert isinstance(drop, FrameDrop)
+        assert (drop.start_s, drop.end_s) == (4.0, 6.0)
+        assert isinstance(noise, NoiseBurst)
+        assert noise.sigma == 0.4 and noise.probability == 0.5
+        assert injector.seed == 3
+
+    def test_open_ended_window(self):
+        fault, = from_spec("exposure@10-:gain=0.1").faults
+        assert fault.start_s == 10.0 and fault.end_s == float("inf")
+
+    def test_mode_stays_a_string(self):
+        fault, = from_spec("nan_frames@0-1:mode=inf").faults
+        assert fault.mode == "inf"
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            from_spec("  ;  ")

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tiered CI entry point:
+#
+#   tools/ci.sh          # smoke tier, then the fault-robustness tier
+#   tools/ci.sh full     # ... then the full test suite
+#
+# Tier 1 (smoke): fast confidence check — see tools/smoke.sh.
+# Tier 2 (faults): the fault-injection robustness suite (pytest -m faults):
+#   sensor-fault models, watchdog gating + reacquisition, closed-loop
+#   graceful degradation, runtime crash/hang/retry recovery, and the
+#   serial/parallel/cached determinism guarantees under active fault plans.
+# Tier 3 (full, opt-in): everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "== CI tier 1: smoke =="
+python -m pytest -m smoke -q
+
+echo "== CI tier 2: faults =="
+python -m pytest -m faults -q
+
+if [[ "${1:-}" == "full" ]]; then
+    echo "== CI tier 3: full suite =="
+    python -m pytest -q
+fi

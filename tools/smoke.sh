@@ -5,9 +5,12 @@
 #   tools/smoke.sh -x         # extra pytest args pass through
 #
 # The smoke tier covers the runtime subsystem (parallel map, result cache,
-# grid equivalence, instrumentation), defensive checkpoint loading, the
-# in-place optimizers, and one miniature end-to-end experiment grid — no
-# model training, no zoo checkpoints.
+# cache GC, grid equivalence, instrumentation), defensive checkpoint
+# loading, the in-place optimizers, the fault-injection building blocks
+# (sensor fault models, watchdog gating, runtime fault plans), one
+# miniature end-to-end experiment grid, and one end-to-end fault-injection
+# scenario (frame drops + graceful degradation in the closed loop; uses the
+# zoo-cached regressor — trains it once on a cold cache).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
