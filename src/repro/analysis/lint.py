@@ -1,0 +1,572 @@
+"""AST-based lint pass enforcing the repo's reproducibility invariants.
+
+The experiment stack promises bit-identical results across serial / forked /
+cached execution and trustworthy gradients; each rule here guards one way
+that promise silently breaks:
+
+* **R001 — no unseeded RNG.**  ``np.random.default_rng()`` without a seed or
+  any legacy ``np.random.<fn>`` global-state call makes results depend on
+  interpreter state, which poisons content-addressed cache keys.
+* **R002 — no wall-clock / iteration-order nondeterminism** in
+  result-producing code (experiments, runtime, eval, faults, data):
+  ``time.time`` / ``datetime.now`` / ``os.urandom`` / ``uuid.uuid4`` and
+  iteration over ``set`` values vary across runs.  (``time.perf_counter``
+  is fine — durations are telemetry, not results.)
+* **R003 — registered env reads.**  Every ``REPRO_*`` environment read must
+  go through :mod:`repro.runtime.env`, the single declared registry that
+  also generates the README table.
+* **R004 — fork-safe grid cells.**  The function handed to
+  :func:`repro.runtime.parallel.parallel_map` must be module-level (lambdas
+  and nested defs are not pickle/spawn-portable), and ``GridRunner.add``
+  cell lambdas must not *implicitly* capture loop variables — the classic
+  late-binding bug where every cell silently computes the last iteration.
+  Bind loop state as lambda default args (``lambda name=name: ...``).
+* **R005 — no float equality** in ``repro/nn`` and ``tests``: ``x == 0.3``
+  on floats is a rounding-dependent coin flip; use ``np.isclose`` /
+  ``pytest.approx``, or suppress where exactness is by construction.
+
+Suppression: append ``# repro: noqa[R001] -- <justification>`` to the line.
+The justification is mandatory; a bare ``noqa`` is itself reported (R000).
+Implemented with the stdlib ``ast`` only.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]\s*(?:--\s*(.*\S))?")
+
+#: legacy ``np.random.<fn>`` calls that mutate/read the global RNG state
+_LEGACY_NP_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "normal", "uniform", "choice", "shuffle", "permutation",
+    "binomial", "poisson", "exponential", "standard_normal", "bytes",
+    "get_state", "set_state", "random_integers",
+})
+
+#: dotted-name suffixes whose *call* injects wall-clock or OS entropy
+_WALL_CLOCK_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.now": "wall-clock time",
+    "datetime.utcnow": "wall-clock time",
+    "datetime.today": "wall-clock time",
+    "date.today": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived identifiers",
+    "uuid.uuid4": "OS entropy",
+}
+
+
+@dataclass
+class Violation:
+    """One lint finding, pointing at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "suppressed": self.suppressed,
+                "justification": self.justification}
+
+
+@dataclass
+class LintConfig:
+    """Which rules run, and reporting options."""
+
+    select: Optional[Set[str]] = None       # None = all registered rules
+    report_suppressed: bool = False         # include justified suppressions
+
+    def active(self, rule: "Rule") -> bool:
+        return self.select is None or rule.id in self.select
+
+
+class Rule:
+    """Base lint rule.  Subclasses set metadata and implement ``check``."""
+
+    id: str = "R000"
+    title: str = ""
+    #: one-line statement of the invariant the rule protects (DESIGN.md)
+    invariant: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on this (posix-normalized) path."""
+        return True
+
+    def check(self, tree: ast.Module, source: str, path: str
+              ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------
+    @staticmethod
+    def _dotted(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def _make(self, path: str, node: ast.AST, message: str) -> Violation:
+        return Violation(rule=self.id, path=path,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0) + 1,
+                         message=message)
+
+
+def _normalize(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _in_package_dir(path: str, *segments: str) -> bool:
+    """True when the path sits under any ``repro/<segment>/`` directory."""
+    p = _normalize(path)
+    return any(f"repro/{segment}/" in p for segment in segments)
+
+
+class UnseededRandomRule(Rule):
+    id = "R001"
+    title = "no unseeded RNG"
+    invariant = ("Every random draw is derived from an explicit seed, so "
+                 "results are replayable and content-addressed cache keys "
+                 "identify them uniquely.")
+
+    def check(self, tree, source, path):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted.endswith("np.random.default_rng") or dotted == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self._make(
+                        path, node,
+                        "unseeded default_rng(): pass an explicit seed or "
+                        "thread an rng= parameter through")
+            elif ".random." in f".{dotted}." and dotted.split(".")[-1] in \
+                    _LEGACY_NP_RANDOM and dotted.split(".")[-2] == "random":
+                yield self._make(
+                    path, node,
+                    f"legacy global-state RNG call {dotted}(): use a seeded "
+                    "np.random.default_rng(seed) generator instead")
+
+
+class WallClockRule(Rule):
+    id = "R002"
+    title = "no wall-clock / set-iteration nondeterminism"
+    invariant = ("Result-producing code (experiments, runtime, eval, faults, "
+                 "data) depends only on declared inputs — never on wall-clock "
+                 "time, OS entropy, or unordered set iteration.")
+
+    def applies_to(self, path):
+        return _in_package_dir(path, "experiments", "runtime", "eval",
+                               "faults", "data")
+
+    def check(self, tree, source, path):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = self._dotted(node.func)
+                if dotted is not None:
+                    for suffix, what in _WALL_CLOCK_CALLS.items():
+                        if dotted == suffix or dotted.endswith("." + suffix):
+                            yield self._make(
+                                path, node,
+                                f"{dotted}() injects {what} into a "
+                                "result-producing path; results must depend "
+                                "only on declared inputs")
+                            break
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and any(
+                        alias.name == "time" for alias in node.names):
+                    yield self._make(
+                        path, node,
+                        "importing time.time into a result-producing module")
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iter_node = node.iter
+                if self._is_set_expr(iter_node):
+                    yield self._make(
+                        path, iter_node,
+                        "iterating over a set: iteration order is "
+                        "hash-dependent; sort it first (sorted(...))")
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "set")
+
+
+class EnvRegistryRule(Rule):
+    id = "R003"
+    title = "REPRO_* env reads go through repro.runtime.env"
+    invariant = ("Every runtime knob is declared once — name, type, default, "
+                 "docstring — in repro.runtime.env; the README table is "
+                 "generated from that registry and cannot drift.")
+
+    def applies_to(self, path):
+        return not _normalize(path).endswith("repro/runtime/env.py")
+
+    def check(self, tree, source, path):
+        constants = self._string_constants(tree)
+        for node in ast.walk(tree):
+            target: Optional[ast.AST] = None
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Load)
+                    and self._is_environ(node.value)):
+                target = node.slice
+            elif isinstance(node, ast.Call):
+                dotted = self._dotted(node.func)
+                if dotted is not None and (
+                        dotted.endswith("os.environ.get")
+                        or dotted == "environ.get"
+                        or dotted.endswith("os.getenv")):
+                    target = node.args[0] if node.args else None
+            if target is None:
+                continue
+            key = self._resolve_key(target, constants)
+            if key is None or key.startswith("REPRO_"):
+                shown = key if key is not None else "<dynamic key>"
+                yield self._make(
+                    path, node,
+                    f"direct environment read of {shown}: declare the "
+                    "variable in repro.runtime.env and call "
+                    "<VAR>.get() on the registry entry")
+
+    @staticmethod
+    def _is_environ(node: ast.AST) -> bool:
+        dotted = Rule._dotted(node)
+        return dotted is not None and dotted.endswith("environ")
+
+    @staticmethod
+    def _string_constants(tree: ast.Module) -> Dict[str, str]:
+        constants: Dict[str, str] = {}
+        for node in tree.body:
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        constants[t.id] = node.value.value
+        return constants
+
+    @staticmethod
+    def _resolve_key(node: ast.AST, constants: Dict[str, str]
+                     ) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return constants.get(node.id)
+        return None
+
+
+class ForkSafeCellRule(Rule):
+    id = "R004"
+    title = "fork-safe grid cells"
+    invariant = ("parallel_map functions are module-level (pickle/spawn "
+                 "portable) and grid-cell lambdas bind loop state as default "
+                 "args, so no cell silently closes over the last iteration.")
+
+    def check(self, tree, source, path):
+        nested = self._nested_defs(tree)
+        grid_names = self._grid_runner_names(tree)
+        # The scope walk re-examines subtrees as loop variables come into
+        # scope, so the same call can be reported at several nesting levels;
+        # keep the first occurrence of each distinct finding.
+        seen: Set[Tuple[int, int, str]] = set()
+        for violation in self._walk_scope(tree, [], nested, grid_names, path):
+            key = (violation.line, violation.col, violation.message)
+            if key not in seen:
+                seen.add(key)
+                yield violation
+
+    # -- discovery -------------------------------------------------------
+    @staticmethod
+    def _nested_defs(tree: ast.Module) -> Set[str]:
+        nested: Set[str] = set()
+
+        def visit(node: ast.AST, depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if depth > 0:
+                        nested.add(child.name)
+                    visit(child, depth + 1)
+                else:
+                    visit(child, depth)
+
+        visit(tree, 0)
+        return nested
+
+    @staticmethod
+    def _grid_runner_names(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                dotted = Rule._dotted(node.value.func)
+                if dotted is not None and dotted.endswith("GridRunner"):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            names.add(t.id)
+        return names
+
+    # -- checking --------------------------------------------------------
+    def _walk_scope(self, node: ast.AST, loop_vars: List[str],
+                    nested: Set[str], grid_names: Set[str], path: str
+                    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # fresh loop-variable scope inside each function
+                yield from self._walk_scope(child, [], nested, grid_names,
+                                            path)
+                continue
+            if isinstance(child, ast.For):
+                added = self._target_names(child.target)
+                yield from self._check_node(child, loop_vars, nested,
+                                            grid_names, path)
+                yield from self._walk_children_of_for(
+                    child, loop_vars + added, nested, grid_names, path)
+                continue
+            yield from self._check_node(child, loop_vars, nested, grid_names,
+                                        path)
+            yield from self._walk_scope(child, loop_vars, nested, grid_names,
+                                        path)
+
+    def _walk_children_of_for(self, node: ast.For, loop_vars, nested,
+                              grid_names, path) -> Iterator[Violation]:
+        for child in node.body + node.orelse:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk_scope(child, [], nested, grid_names,
+                                            path)
+                continue
+            if isinstance(child, ast.For):
+                added = self._target_names(child.target)
+                yield from self._check_node(child, loop_vars, nested,
+                                            grid_names, path)
+                yield from self._walk_children_of_for(
+                    child, loop_vars + added, nested, grid_names, path)
+                continue
+            yield from self._check_node(child, loop_vars, nested, grid_names,
+                                        path)
+            yield from self._walk_scope(child, loop_vars, nested, grid_names,
+                                        path)
+
+    def _check_node(self, node: ast.AST, loop_vars, nested, grid_names,
+                    path) -> Iterator[Violation]:
+        for call in ast.walk(node) if not isinstance(node, ast.For) else \
+                ast.walk(node.iter):
+            if isinstance(call, ast.Call):
+                yield from self._check_call(call, loop_vars, nested,
+                                            grid_names, path)
+        if isinstance(node, ast.For):
+            return
+        return
+
+    def _check_call(self, call: ast.Call, loop_vars, nested, grid_names,
+                    path) -> Iterator[Violation]:
+        dotted = self._dotted(call.func)
+        if dotted is not None and dotted.split(".")[-1] == "parallel_map":
+            fn = self._argument(call, 0, "fn")
+            if isinstance(fn, ast.Lambda):
+                yield self._make(
+                    path, fn,
+                    "lambda passed to parallel_map: cell functions must be "
+                    "module-level (pickle/spawn portable)")
+            elif isinstance(fn, ast.Name) and fn.id in nested:
+                yield self._make(
+                    path, fn,
+                    f"nested function {fn.id!r} passed to parallel_map: "
+                    "cell functions must be module-level")
+        if (isinstance(call.func, ast.Attribute)
+                and call.func.attr == "add"
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in grid_names):
+            fn = self._argument(call, 1, "fn")
+            if isinstance(fn, ast.Lambda):
+                captured = self._implicit_loop_captures(fn, loop_vars)
+                if captured:
+                    names = ", ".join(sorted(captured))
+                    yield self._make(
+                        path, fn,
+                        f"grid-cell lambda implicitly captures loop "
+                        f"variable(s) {names}: bind as default args "
+                        f"(lambda {names.split(', ')[0]}="
+                        f"{names.split(', ')[0]}: ...) or every cell "
+                        "evaluates the last iteration")
+
+    @staticmethod
+    def _argument(call: ast.Call, index: int, name: str
+                  ) -> Optional[ast.AST]:
+        if len(call.args) > index:
+            return call.args[index]
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> List[str]:
+        names: List[str] = []
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+        return names
+
+    @staticmethod
+    def _implicit_loop_captures(fn: ast.Lambda,
+                                loop_vars: Sequence[str]) -> Set[str]:
+        args = {a.arg for a in (fn.args.args + fn.args.kwonlyargs
+                                + fn.args.posonlyargs)}
+        if fn.args.vararg:
+            args.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            args.add(fn.args.kwarg.arg)
+        loaded: Set[str] = set()
+        for node in ast.walk(fn.body):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+        return (loaded - args) & set(loop_vars)
+
+
+class FloatEqualityRule(Rule):
+    id = "R005"
+    title = "no float equality comparisons"
+    invariant = ("Gradient/numeric code never branches or asserts on exact "
+                 "float equality; tolerance-based comparisons (np.isclose, "
+                 "pytest.approx) survive reorderings and dtype changes.")
+
+    def applies_to(self, path):
+        p = _normalize(path)
+        return (_in_package_dir(p, "nn")
+                or "/tests/" in p or p.startswith("tests/"))
+
+    def check(self, tree, source, path):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(isinstance(o, ast.Constant) and isinstance(o.value, float)
+                   for o in operands):
+                yield self._make(
+                    path, node,
+                    "float equality comparison: use np.isclose / "
+                    "pytest.approx, or suppress where exactness is "
+                    "by construction")
+
+
+#: the registered rule set, in id order
+RULES: Tuple[Rule, ...] = (UnseededRandomRule(), WallClockRule(),
+                           EnvRegistryRule(), ForkSafeCellRule(),
+                           FloatEqualityRule())
+
+
+@dataclass
+class Suppression:
+    rules: Set[str]
+    justification: Optional[str]
+    used: bool = False
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """``# repro: noqa[Rxxx] -- why`` comments, keyed by 1-based line."""
+    table: Dict[int, Suppression] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        table[lineno] = Suppression(rules=rules,
+                                    justification=match.group(2))
+    return table
+
+
+def lint_source(source: str, path: str,
+                config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint one source buffer; ``path`` drives rule scoping and reporting."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Violation(rule="R000", path=path,
+                          line=error.lineno or 1,
+                          col=(error.offset or 0) + 1,
+                          message=f"syntax error: {error.msg}")]
+    suppressions = parse_suppressions(source)
+    findings: List[Violation] = []
+    for rule in RULES:
+        if not config.active(rule) or not rule.applies_to(path):
+            continue
+        for violation in rule.check(tree, source, path):
+            suppression = suppressions.get(violation.line)
+            if (suppression is not None
+                    and violation.rule in suppression.rules
+                    and suppression.justification):
+                suppression.used = True
+                if config.report_suppressed:
+                    violation.suppressed = True
+                    violation.justification = suppression.justification
+                    findings.append(violation)
+                continue
+            findings.append(violation)
+    # a noqa without a justification is itself a finding — suppressions
+    # must document *why* the behaviour is intentional
+    for lineno, suppression in suppressions.items():
+        if not suppression.justification:
+            findings.append(Violation(
+                rule="R000", path=path, line=lineno, col=1,
+                message="noqa suppression missing justification: write "
+                        "'# repro: noqa[Rxxx] -- <why this is intentional>'"))
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+
+
+def lint_paths(paths: Iterable[str],
+               config: Optional[LintConfig] = None
+               ) -> Tuple[List[Violation], int]:
+    """Lint files/trees; returns ``(violations, files_scanned)``."""
+    config = config or LintConfig()
+    findings: List[Violation] = []
+    scanned = 0
+    for filename in iter_python_files(paths):
+        scanned += 1
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, filename, config))
+    return findings, scanned

@@ -171,11 +171,21 @@ def slice_loss_fn(loss_fn: LossFn, index: int) -> LossFn:
 
 def input_gradient(images: np.ndarray, loss_fn: LossFn,
                    mask: Optional[np.ndarray] = None) -> np.ndarray:
-    """Gradient of the adversarial loss w.r.t. the input pixels."""
+    """Gradient of the adversarial loss w.r.t. the input pixels.
+
+    Under ``REPRO_SANITIZE=nan`` (installed via
+    :func:`repro.analysis.sanitize.install`), a non-finite input gradient
+    raises immediately — a NaN here would otherwise propagate into every
+    subsequent attack iterate and silently zero the perturbation.
+    """
+    from ..analysis import sanitize
+
     x = Tensor(images.copy(), requires_grad=True)
     loss = loss_fn(x)
     loss.backward()
     grad = x.grad
+    if "nan" in sanitize.installed_modes():
+        sanitize.check_finite(grad, "adversarial input gradient")
     if mask is not None:
         grad = grad * mask
     return grad

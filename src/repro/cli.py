@@ -10,6 +10,8 @@
     python -m repro fig1 --out results/  # write Fig. 1 example images
     python -m repro table1 --workers 4   # fan grid cells over 4 processes
     python -m repro table1 --no-cache    # recompute, ignore the result cache
+    python -m repro analyze lint src     # correctness tooling (see
+                                         # repro.analysis.cli for verbs)
 
 Results print to stdout and are also written under ``--out`` (default
 ``results/``).  Every run also writes ``BENCH_runtime.json`` (per-cell
@@ -25,9 +27,7 @@ import sys
 from typing import Callable, Dict
 
 from . import experiments, viz
-from .runtime import cache_enabled, export_bench, get_instrumentation
-from .runtime.cache import CACHE_TOGGLE_ENV
-from .runtime.parallel import WORKERS_ENV
+from .runtime import cache_enabled, env, export_bench, get_instrumentation
 
 Runner = Callable[[argparse.Namespace], str]
 
@@ -119,14 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for rendered outputs")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for experiment grids "
-                             f"(default: ${WORKERS_ENV} or CPU count)")
+                             f"(default: ${env.WORKERS.name} or CPU count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the result cache (recompute everything)")
     return parser
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # Correctness tooling rides the same entry point so CI needs just
+        # one program name: `python -m repro.cli analyze lint src/repro`.
+        from .analysis.cli import main as analyze_main
+        return analyze_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
+    # Honor REPRO_SANITIZE for experiment runs launched through the CLI.
+    from .analysis.sanitize import install_from_env
+    install_from_env()
     if args.experiment == "list":
         print("available experiments:")
         for name in sorted(EXPERIMENTS):
@@ -136,9 +146,9 @@ def main(argv=None) -> int:
     # Runtime knobs propagate via env so every GridRunner (and any forked
     # worker) sees them without threading arguments through each experiment.
     if args.workers is not None:
-        os.environ[WORKERS_ENV] = str(args.workers)
+        env.WORKERS.set(args.workers)
     if args.no_cache:
-        os.environ[CACHE_TOGGLE_ENV] = "0"
+        env.RESULT_CACHE.set(0)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     os.makedirs(args.out, exist_ok=True)
     for name in names:

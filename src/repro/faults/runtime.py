@@ -10,13 +10,20 @@ smoke runs) instead of waiting for a real OOM kill:
     REPRO_FAULT_PLAN="raise@0,hang@3"     # item 0 raises, item 3 hangs
     REPRO_FAULT_PLAN="crash@1:attempt=1"  # item 1 crashes on its 1st retry
 
-Grammar: comma-separated ``<kind>@<index>[:attempt=<n>]`` with kind one of
+Grammar: comma-separated ``<kind>@<target>[:attempt=<n>]`` with kind one of
 
 * ``raise`` — raise :class:`InjectedFault` inside the cell,
 * ``crash`` — ``os._exit(13)``: the worker dies without reporting (simulates
   an OOM kill / segfault),
 * ``hang``  — sleep far beyond any per-cell timeout (simulates a wedged
   cell; the heartbeat monitor must detect and retry it).
+
+``<target>`` is either a numeric item index within a ``parallel_map`` batch
+(``crash@2``) or a *named scope* (``raise@zoo.detector``): long-running code
+outside the grid executor — notably the model zoo's training paths — calls
+:meth:`RuntimeFaultPlan.maybe_inject_scope` with its scope name, so chaos
+plans can target "the detector's training run" directly.  Scope attempts
+count per ``maybe_inject_scope`` call site via the caller's attempt number.
 
 ``attempt`` defaults to 0, so by default a fault fires only on the first
 execution of the item and the *retry succeeds* — which is exactly the
@@ -29,9 +36,12 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
-FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+from ..runtime import env
+
+# Historical name, kept importable; the registry is the source of truth.
+FAULT_PLAN_ENV = env.FAULT_PLAN.name
 
 #: how long a "hang" sleeps; far beyond any sane per-cell timeout, but
 #: bounded so an unmonitored test can still terminate.
@@ -46,16 +56,16 @@ class InjectedFault(RuntimeError):
 
 @dataclass(frozen=True)
 class RuntimeFault:
-    kind: str       # "raise" | "crash" | "hang"
-    index: int      # item index within the parallel_map batch
-    attempt: int    # which execution attempt the fault fires on
+    kind: str                   # "raise" | "crash" | "hang"
+    index: Union[int, str]      # batch item index, or a named scope
+    attempt: int                # which execution attempt the fault fires on
 
 
 class RuntimeFaultPlan:
     """Parsed ``REPRO_FAULT_PLAN``; empty plan injects nothing."""
 
     def __init__(self, faults: Tuple[RuntimeFault, ...] = ()):
-        self._by_key: Dict[Tuple[int, int], RuntimeFault] = {
+        self._by_key: Dict[Tuple[Union[int, str], int], RuntimeFault] = {
             (fault.index, fault.attempt): fault for fault in faults}
 
     def __bool__(self) -> bool:
@@ -82,16 +92,34 @@ class RuntimeFaultPlan:
                         f"unknown runtime fault option {key!r} in "
                         f"{FAULT_PLAN_ENV} (only 'attempt=N')")
                 attempt = int(value)
-            faults.append(RuntimeFault(kind=kind, index=int(index),
+            target = index.strip()
+            if not target:
+                raise ValueError(
+                    f"missing fault target in {part!r} (expected "
+                    f"kind@index or kind@scope)")
+            resolved: Union[int, str] = (int(target)
+                                         if target.lstrip("-").isdigit()
+                                         else target)
+            faults.append(RuntimeFault(kind=kind, index=resolved,
                                        attempt=attempt))
         return cls(tuple(faults))
 
     @classmethod
     def from_env(cls) -> "RuntimeFaultPlan":
-        return cls.parse(os.environ.get(FAULT_PLAN_ENV))
+        return cls.parse(env.FAULT_PLAN.get())
 
-    def lookup(self, index: int, attempt: int) -> Optional[RuntimeFault]:
+    def lookup(self, index: Union[int, str],
+               attempt: int) -> Optional[RuntimeFault]:
         return self._by_key.get((index, attempt))
+
+    def _fire(self, fault: RuntimeFault, label: str, attempt: int) -> None:
+        if fault.kind == "raise":
+            raise InjectedFault(
+                f"injected failure for {label} attempt {attempt}")
+        if fault.kind == "crash":
+            os._exit(13)
+        if fault.kind == "hang":  # pragma: no cover - killed by the monitor
+            time.sleep(HANG_SECONDS)
 
     def maybe_inject(self, index: int, attempt: int) -> None:
         """Fire the planned fault for (item, attempt), if any.
@@ -99,12 +127,23 @@ class RuntimeFaultPlan:
         ``raise`` raises, ``crash`` kills the process, ``hang`` sleeps.
         """
         fault = self.lookup(index, attempt)
-        if fault is None:
-            return
-        if fault.kind == "raise":
-            raise InjectedFault(
-                f"injected failure for item {index} attempt {attempt}")
-        if fault.kind == "crash":
-            os._exit(13)
-        if fault.kind == "hang":  # pragma: no cover - killed by the monitor
-            time.sleep(HANG_SECONDS)
+        if fault is not None:
+            self._fire(fault, f"item {index}", attempt)
+
+    def maybe_inject_scope(self, scope: str, attempt: int = 0) -> None:
+        """Fire the planned fault for a named scope, if any.
+
+        Training paths and other long-running non-grid code call this with
+        a stable scope name (e.g. ``zoo.detector``) so chaos plans like
+        ``REPRO_FAULT_PLAN=raise@zoo.detector`` can target them.
+        """
+        fault = self.lookup(scope, attempt)
+        if fault is not None:
+            self._fire(fault, f"scope {scope!r}", attempt)
+
+
+def maybe_inject_scope(scope: str, attempt: int = 0) -> None:
+    """Module-level convenience: read the env plan, fire for ``scope``."""
+    plan = RuntimeFaultPlan.from_env()
+    if plan:
+        plan.maybe_inject_scope(scope, attempt)

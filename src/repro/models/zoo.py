@@ -17,7 +17,9 @@ import numpy as np
 
 from ..data.driving import generate_training_set
 from ..data.signs import SignDataset
+from ..faults.runtime import maybe_inject_scope
 from ..nn import serialize
+from ..runtime import env
 from .detector import TinyDetector
 from .distance import DistanceRegressor
 from .training import train_detector, train_regressor
@@ -32,7 +34,7 @@ REGRESSOR_EPOCHS = 40
 
 
 def cache_dir() -> str:
-    path = os.environ.get("REPRO_CACHE_DIR")
+    path = env.CACHE_DIR.get()
     if path is None:
         root = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__)))))
@@ -74,6 +76,7 @@ def get_detector(seed: int = 0, n_scenes: int = DETECTOR_TRAIN_SCENES,
     if not force_retrain and serialize.try_load_module(path, model):
         model.eval()
         return model
+    maybe_inject_scope("zoo.detector")
     dataset = get_sign_dataset(n_scenes, seed=seed)
     train_detector(model, dataset.images(),
                    [scene.boxes for scene in dataset.scenes],
@@ -93,6 +96,7 @@ def get_regressor(seed: int = 0, n_frames: int = REGRESSOR_TRAIN_FRAMES,
     if not force_retrain and serialize.try_load_module(path, model):
         model.eval()
         return model
+    maybe_inject_scope("zoo.regressor")
     images, distances = get_driving_data(n_frames, seed=seed)
     train_regressor(model, images, distances, epochs=epochs, seed=seed)
     serialize.save_module(path, model)
@@ -129,6 +133,7 @@ def get_diffusion(domain: str, seed: int = 0, epochs: int = DIFFUSION_EPOCHS,
             serialize.logger.warning(
                 "diffusion checkpoint %s does not fit the model; retraining",
                 path)
+    maybe_inject_scope("zoo.diffusion")
     if domain == "signs":
         images = SignDataset(n_images, seed=seed + 50).images()
     else:
@@ -150,6 +155,7 @@ def cached_model(name: str, config: dict, build, train) -> object:
     if serialize.try_load_module(path, model):
         model.eval()
         return model
+    maybe_inject_scope(f"zoo.{name}")
     train(model)
     serialize.save_module(path, model)
     model.eval()

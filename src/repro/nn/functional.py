@@ -95,7 +95,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
                             (out_h, out_w))
             _accumulate(x, grad_x)
 
-    return Tensor._make(out.astype(np.float32), parents, backward)
+    return Tensor._make(out.astype(x.data.dtype, copy=False), parents, backward)
 
 
 def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
@@ -115,14 +115,14 @@ def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
     x_shape = x.shape
 
     def backward(g: np.ndarray) -> None:
-        grad_cols = np.zeros((n * c, kh * kw, out_h * out_w), dtype=np.float32)
+        grad_cols = np.zeros((n * c, kh * kw, out_h * out_w), dtype=x.data.dtype)
         flat = g.reshape(n * c, 1, out_h * out_w)
         np.put_along_axis(grad_cols, argmax[:, None, :], flat, axis=1)
         grad = col2im(grad_cols.reshape(n * c, kh * kw, out_h * out_w),
                       (n * c, 1, h, w), kernel, stride, (0, 0), (out_h, out_w))
         _accumulate(x, grad.reshape(x_shape))
 
-    return Tensor._make(out.astype(np.float32), (x,), backward)
+    return Tensor._make(out.astype(x.data.dtype, copy=False), (x,), backward)
 
 
 def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
@@ -145,7 +145,7 @@ def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
                       kernel, stride, (0, 0), (out_h, out_w))
         _accumulate(x, grad.reshape(x_shape))
 
-    return Tensor._make(out.astype(np.float32), (x,), backward)
+    return Tensor._make(out.astype(x.data.dtype, copy=False), (x,), backward)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -196,7 +196,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
     """Inverted dropout — identity at evaluation time."""
     if not training or p <= 0.0:
         return x
-    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
 
     def backward(g: np.ndarray) -> None:
         _accumulate(x, g * mask)

@@ -1,4 +1,4 @@
-"""Lightweight global counters for forward/backward passes.
+"""Lightweight global counters and sanitizer hook points for nn passes.
 
 The runtime instrumentation layer (:mod:`repro.runtime.instrument`) reads
 these to attribute nn work to experiment grid cells.  A *forward pass* is
@@ -9,11 +9,38 @@ not count separately); a *backward pass* is one call to
 Counters are per-process.  The parallel grid executor snapshots them inside
 each worker and ships the deltas back to the parent, so per-cell counts are
 exact under both serial and forked execution.
+
+This module is also the seam where :mod:`repro.analysis.sanitize` attaches
+its runtime checks.  ``repro.nn`` never imports the analysis package (that
+would invert the dependency graph); instead the sanitizers install plain
+callables here:
+
+* :data:`TAPE_CHECK` — called by the autodiff core with
+  ``(phase, array, op)`` for every op output (``phase="forward"``) and every
+  op output-gradient (``phase="backward"``).  ``op`` is the backward closure
+  whose ``__qualname__`` names the originating operation.
+* :data:`ALIAS_CHECK` — called by every optimizer at the end of ``step()``
+  with the optimizer instance, so a detector can fingerprint scratch
+  buffers against parameter/grad storage.
+
+Both default to ``None``; the only overhead when disabled is one global
+load and an ``is None`` test per op.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Callable, List, Optional, Tuple
+
+#: sanitizer slot: fn(phase, array, op) -> None; installed by
+#: repro.analysis.sanitize, read by Tensor._make / Tensor.backward.
+TAPE_CHECK: Optional[Callable[[str, Any, Any], None]] = None
+
+#: sanitizer slot: fn(optimizer) -> None; called at the end of step().
+ALIAS_CHECK: Optional[Callable[[Any], None]] = None
+
+#: class names of the modules currently on the __call__ stack, outermost
+#: first — gives sanitizer reports a "Detector.ConvBlock.BatchNorm2d" path.
+MODULE_STACK: List[str] = []
 
 
 class PassCounters:
@@ -38,15 +65,35 @@ class PassCounters:
 COUNTERS = PassCounters()
 
 
-def enter_module() -> None:
+def enter_module(module: Optional[Any] = None) -> None:
     """Called by ``Module.__call__`` on entry; counts only top-level calls."""
     COUNTERS._depth += 1
     if COUNTERS._depth == 1:
         COUNTERS.forward += 1
+    MODULE_STACK.append(type(module).__name__ if module is not None else "?")
 
 
 def exit_module() -> None:
     COUNTERS._depth -= 1
+    if MODULE_STACK:
+        MODULE_STACK.pop()
+
+
+def module_path() -> str:
+    """Dotted class-name path of the live module stack (for diagnostics)."""
+    return ".".join(MODULE_STACK) if MODULE_STACK else "<no module>"
+
+
+def set_tape_check(fn: Optional[Callable[[str, Any, Any], None]]) -> None:
+    """Install (or clear, with ``None``) the autodiff tape sanitizer."""
+    global TAPE_CHECK
+    TAPE_CHECK = fn
+
+
+def set_alias_check(fn: Optional[Callable[[Any], None]]) -> None:
+    """Install (or clear, with ``None``) the optimizer aliasing detector."""
+    global ALIAS_CHECK
+    ALIAS_CHECK = fn
 
 
 def count_backward() -> None:
@@ -61,3 +108,4 @@ def snapshot() -> Tuple[int, int]:
 
 def reset() -> None:
     COUNTERS.reset()
+    del MODULE_STACK[:]

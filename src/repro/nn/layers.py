@@ -101,7 +101,7 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     def __call__(self, *args, **kwargs):
-        hooks.enter_module()
+        hooks.enter_module(self)
         try:
             return self.forward(*args, **kwargs)
         finally:

@@ -7,6 +7,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from . import hooks
 from .tensor import Tensor
 
 
@@ -58,6 +59,9 @@ class SGD(Optimizer):
             else:
                 np.multiply(grad, self.lr, out=buf)
             p.data -= buf
+        check = hooks.ALIAS_CHECK
+        if check is not None:
+            check(self)
 
 
 class Adam(Optimizer):
@@ -109,6 +113,9 @@ class Adam(Optimizer):
                 buf1 += buf2
             buf1 *= self.lr
             p.data -= buf1
+        check = hooks.ALIAS_CHECK
+        if check is not None:
+            check(self)
 
 
 def AdamW(params: Iterable[Tensor], lr: float = 1e-3, betas=(0.9, 0.999),

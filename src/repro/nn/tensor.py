@@ -8,14 +8,19 @@ tape-based approach: every operation records a backward closure and its
 parent tensors; :meth:`Tensor.backward` topologically sorts the graph and
 accumulates gradients.
 
-All tensors hold ``float32`` numpy arrays.  Broadcasting follows numpy
-semantics; gradients of broadcast operands are reduced back to the operand's
-shape (see :func:`_unbroadcast`).
+Tensors hold ``float32`` numpy arrays by default.  The working precision is
+a process-global knob (:func:`default_dtype` / :func:`precision`): the
+numeric grad-check harness in :mod:`repro.analysis.gradcheck` runs the same
+graph code under ``float64`` so central differences resolve below 1e-4
+relative error.  Broadcasting follows numpy semantics; gradients of
+broadcast operands are reduced back to the operand's shape (see
+:func:`_unbroadcast`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,9 +28,37 @@ from . import hooks
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+_DEFAULT_DTYPE = np.dtype(np.float32)
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (``float32`` unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the working precision; returns the previous dtype."""
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported tensor dtype {dtype!r}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+@contextmanager
+def precision(dtype) -> Iterator[None]:
+    """Temporarily switch the working precision (e.g. float64 for gradcheck)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float32)
+    arr = np.asarray(value, dtype=_DEFAULT_DTYPE)
     return arr
 
 
@@ -105,6 +138,9 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
+        check = hooks.TAPE_CHECK
+        if check is not None:
+            check("forward", data, backward)
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -262,7 +298,7 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.1) -> "Tensor":
         a = self.data
-        factor = np.where(a > 0, 1.0, negative_slope).astype(np.float32)
+        factor = np.where(a > 0, 1.0, negative_slope).astype(a.dtype)
 
         def backward(g: np.ndarray) -> None:
             _accumulate(self, g * factor)
@@ -283,7 +319,7 @@ class Tensor:
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient passes only where unclipped."""
         a = self.data
-        mask = ((a >= low) & (a <= high)).astype(np.float32)
+        mask = ((a >= low) & (a <= high)).astype(a.dtype)
 
         def backward(g: np.ndarray) -> None:
             _accumulate(self, g * mask)
@@ -299,7 +335,7 @@ class Tensor:
         shape = self.shape
 
         def backward(g: np.ndarray) -> None:
-            grad = np.asarray(g, dtype=np.float32)
+            grad = np.asarray(g, dtype=self.data.dtype)
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 axes = tuple(a % len(shape) for a in axes)
@@ -321,12 +357,12 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             if axis is None:
-                mask = (self.data == out_data).astype(np.float32)
+                mask = (self.data == out_data).astype(self.data.dtype)
             else:
                 expanded = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded).astype(np.float32)
+                mask = (self.data == expanded).astype(self.data.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
-            grad = np.asarray(g, dtype=np.float32)
+            grad = np.asarray(g, dtype=self.data.dtype)
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis)
             _accumulate(self, mask * grad)
@@ -366,7 +402,7 @@ class Tensor:
         original_shape = self.shape
 
         def backward(g: np.ndarray) -> None:
-            grad = np.zeros(original_shape, dtype=np.float32)
+            grad = np.zeros(original_shape, dtype=self.data.dtype)
             np.add.at(grad, index, g)
             _accumulate(self, grad)
 
@@ -386,7 +422,7 @@ class Tensor:
         hooks.count_backward()
         if grad is None:
             grad = np.ones_like(self.data)
-        self.grad = np.asarray(grad, dtype=np.float32)
+        self.grad = np.asarray(grad, dtype=self.data.dtype)
 
         order: list[Tensor] = []
         seen = set()
@@ -407,13 +443,16 @@ class Tensor:
                         stack.append((parent, False))
 
         visit(self)
+        check = hooks.TAPE_CHECK
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
+                if check is not None:
+                    check("backward", node.grad, node._backward)
                 node._backward(node.grad)
 
 
 def _accumulate(tensor: Tensor, grad: np.ndarray) -> None:
-    grad = np.asarray(grad, dtype=np.float32)
+    grad = np.asarray(grad, dtype=tensor.data.dtype)
     if tensor.grad is None:
         tensor.grad = grad.copy() if grad.base is not None else grad
     else:

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.sanitize import check_finite
 from ..data.driving import MAX_DISTANCE
 from ..defenses.base import InputDefense
 from ..models.distance import DistanceRegressor
@@ -57,15 +58,19 @@ class PerceptionService:
     def process(self, frame: np.ndarray) -> PerceptionOutput:
         """``frame`` is one (3, H, W) image in [0, 1]."""
         batch = frame[None].astype(np.float32)
-        if not np.all(np.isfinite(batch)):
-            bad = int(batch.size - np.isfinite(batch).sum())
+        # Detection goes through the uniform guard in repro.analysis.sanitize
+        # (raise_error=False: perception degrades gracefully, it never throws).
+        report = check_finite(batch, "input frame", raise_error=False)
+        if report is not None:
             return self._fault("non_finite_frame",
-                               f"{bad} non-finite pixels in input frame")
+                               f"input frame: {report}")
         if self.defense is not None:
             batch = self.defense.purify(batch)
-            if not np.all(np.isfinite(batch)):
+            report = check_finite(batch, "defense output", raise_error=False)
+            if report is not None:
                 return self._fault("non_finite_frame",
-                                   "defense produced non-finite pixels")
+                                   f"defense produced non-finite pixels: "
+                                   f"{report}")
         raw = float(self.model.predict(batch)[0])
         if not np.isfinite(raw):
             return self._fault("non_finite_output",

@@ -10,15 +10,13 @@ independent; this package is the engine every experiment runs on:
 * :mod:`~repro.runtime.instrument` — per-cell wall-clock and nn
   forward/backward counters, exported as ``BENCH_runtime.json``.
 
-Environment knobs: ``REPRO_WORKERS`` (worker count; default all cores),
-``REPRO_CACHE_DIR`` (cache root), ``REPRO_RESULT_CACHE=0`` (disable the
-result cache), ``REPRO_CACHE_MAX_MB`` (LRU size budget for the cell cache),
-``REPRO_BENCH_JSON`` (instrumentation export path), ``REPRO_CELL_TIMEOUT``
-(per-cell heartbeat timeout, seconds), ``REPRO_MAX_RETRIES`` (retry budget
-for crashed/hung/failed cells), ``REPRO_FAULT_PLAN`` (deliberate worker
-faults for testing — see :mod:`repro.faults.runtime`).
+Every ``REPRO_*`` environment knob is declared in :mod:`repro.runtime.env`
+(the central registry — name, type, default, docstring); reads anywhere
+else are flagged by lint rule R003, and the README's env-var table is
+generated from the registry.
 """
 
+from . import env
 from .cache import (ResultCache, array_fingerprint, cache_enabled,
                     cache_max_bytes, default_cache, fingerprint)
 from .grid import GridRunner
@@ -28,6 +26,7 @@ from .parallel import (WorkerError, cell_timeout, fork_available, max_retries,
                        parallel_map, stable_seed, worker_count)
 
 __all__ = [
+    "env",
     "GridRunner", "ResultCache", "parallel_map", "worker_count",
     "fork_available", "stable_seed", "WorkerError", "cell_timeout",
     "max_retries",

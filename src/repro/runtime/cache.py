@@ -30,16 +30,17 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from ..nn.serialize import CHECKPOINT_ERRORS
-from . import codecs
+from . import codecs, env
 
 logger = logging.getLogger(__name__)
 
-CACHE_TOGGLE_ENV = "REPRO_RESULT_CACHE"
-CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+# Historical names, kept importable; the registry is the source of truth.
+CACHE_TOGGLE_ENV = env.RESULT_CACHE.name
+CACHE_MAX_MB_ENV = env.CACHE_MAX_MB.name
 
 
 def _default_root() -> str:
-    path = os.environ.get("REPRO_CACHE_DIR")
+    path = env.CACHE_DIR.get()
     if path is None:
         root = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__)))))
@@ -48,7 +49,7 @@ def _default_root() -> str:
 
 
 def cache_enabled() -> bool:
-    return os.environ.get(CACHE_TOGGLE_ENV, "1") != "0"
+    return bool(env.RESULT_CACHE.get())
 
 
 def cache_max_bytes() -> Optional[int]:
@@ -56,14 +57,8 @@ def cache_max_bytes() -> Optional[int]:
 
     ``None`` (unset or non-positive) disables the GC sweep.
     """
-    env = os.environ.get(CACHE_MAX_MB_ENV)
-    if not env:
-        return None
-    try:
-        megabytes = float(env)
-    except ValueError:
-        raise ValueError(f"{CACHE_MAX_MB_ENV} must be a number, got {env!r}")
-    if megabytes <= 0:
+    megabytes = env.CACHE_MAX_MB.get()
+    if megabytes is None or megabytes <= 0:
         return None
     return int(megabytes * 1024 * 1024)
 

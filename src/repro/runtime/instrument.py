@@ -24,9 +24,11 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..nn import hooks
+from . import env
 
-BENCH_PATH_ENV = "REPRO_BENCH_JSON"
-DEFAULT_BENCH_NAME = "BENCH_runtime.json"
+# Historical names, kept importable; the registry is the source of truth.
+BENCH_PATH_ENV = env.BENCH_JSON.name
+DEFAULT_BENCH_NAME = env.BENCH_JSON.default
 
 
 @dataclass
@@ -105,7 +107,7 @@ class Instrumentation:
     def export(self, path: Optional[str] = None) -> str:
         """Write the ledger as JSON; returns the path written."""
         if path is None:
-            path = os.environ.get(BENCH_PATH_ENV, DEFAULT_BENCH_NAME)
+            path = env.BENCH_JSON.get()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         tmp = path + ".tmp"

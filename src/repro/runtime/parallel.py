@@ -54,11 +54,14 @@ Result = TypeVar("Result")
 
 logger = logging.getLogger(__name__)
 
-WORKERS_ENV = "REPRO_WORKERS"
-TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
-RETRIES_ENV = "REPRO_MAX_RETRIES"
+from . import env as _env  # noqa: E402 - registry import after typing setup
 
-DEFAULT_MAX_RETRIES = 2
+# Historical names, kept importable; the registry is the source of truth.
+WORKERS_ENV = _env.WORKERS.name
+TIMEOUT_ENV = _env.CELL_TIMEOUT.name
+RETRIES_ENV = _env.MAX_RETRIES.name
+
+DEFAULT_MAX_RETRIES = _env.MAX_RETRIES.default
 _POLL_S = 0.05
 
 
@@ -66,12 +69,9 @@ def worker_count(workers: Optional[int] = None) -> int:
     """Resolve the effective worker count (>= 1)."""
     if workers is not None:
         return max(1, int(workers))
-    env = os.environ.get(WORKERS_ENV)
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}")
+    value = _env.WORKERS.get()
+    if value is not None:
+        return max(1, value)
     return os.cpu_count() or 1
 
 
@@ -82,12 +82,8 @@ def cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
     """
     if timeout is not None:
         return float(timeout) if timeout > 0 else None
-    env = os.environ.get(TIMEOUT_ENV)
-    if env:
-        try:
-            value = float(env)
-        except ValueError:
-            raise ValueError(f"{TIMEOUT_ENV} must be a number, got {env!r}")
+    value = _env.CELL_TIMEOUT.get()
+    if value is not None:
         return value if value > 0 else None
     return None
 
@@ -96,13 +92,7 @@ def max_retries(retries: Optional[int] = None) -> int:
     """How many times a failed/crashed/hung cell is re-attempted (>= 0)."""
     if retries is not None:
         return max(0, int(retries))
-    env = os.environ.get(RETRIES_ENV)
-    if env:
-        try:
-            return max(0, int(env))
-        except ValueError:
-            raise ValueError(f"{RETRIES_ENV} must be an integer, got {env!r}")
-    return DEFAULT_MAX_RETRIES
+    return max(0, _env.MAX_RETRIES.get())
 
 
 def fork_available() -> bool:

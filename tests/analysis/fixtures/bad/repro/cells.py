@@ -1,0 +1,7 @@
+"""Lint fixture: R004 — fork/pickle-unsafe cell function."""
+
+from repro.runtime import parallel_map
+
+
+def run(items):
+    return parallel_map(lambda item: item * 2, items)

@@ -1,0 +1,7 @@
+"""Lint fixture: R003 — REPRO_* env read bypassing the central registry."""
+
+import os
+
+
+def workers():
+    return os.environ.get("REPRO_WORKERS")

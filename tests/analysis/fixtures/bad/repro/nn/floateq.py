@@ -1,0 +1,5 @@
+"""Lint fixture: R005 — float equality comparison in nn code."""
+
+
+def saturated(value):
+    return value == 1.0

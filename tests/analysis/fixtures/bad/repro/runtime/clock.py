@@ -1,0 +1,7 @@
+"""Lint fixture: R002 — wall-clock read in a runtime path."""
+
+import time
+
+
+def stamp():
+    return time.time()

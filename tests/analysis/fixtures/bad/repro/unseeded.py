@@ -1,0 +1,8 @@
+"""Lint fixture: R001 — RNG constructed without an explicit seed."""
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()
+    return rng.normal(size=4)

@@ -1,0 +1,88 @@
+"""Determinism auditor tests: fingerprint agreement, first-divergence
+reporting, and catching an injected unseeded-RNG regression."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import determinism
+from repro.analysis.determinism import (AuditCell, audit_cells,
+                                        first_divergence, result_fingerprint)
+from repro.analysis.cli import main as analysis_main
+
+pytestmark = pytest.mark.analysis
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting and divergence location
+# ---------------------------------------------------------------------------
+
+def test_result_fingerprint_stable_across_equal_structures():
+    a = {"image": np.arange(6, dtype=np.float32).reshape(2, 3), "n": 3}
+    b = {"n": 3, "image": np.arange(6, dtype=np.float32).reshape(2, 3)}
+    assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_result_fingerprint_sensitive_to_content():
+    a = {"image": np.zeros(4, dtype=np.float32)}
+    b = {"image": np.zeros(4, dtype=np.float32)}
+    b["image"][2] = 1e-7
+    assert result_fingerprint(a) != result_fingerprint(b)
+
+
+def test_first_divergence_locates_array_delta():
+    a = {"metrics": [1.0, {"grid": np.zeros((2, 2))}]}
+    b = {"metrics": [1.0, {"grid": np.zeros((2, 2))}]}
+    b["metrics"][1]["grid"][1, 0] = 0.25
+    where = first_divergence(a, b)
+    assert where is not None
+    assert "$.metrics[1].grid" in where
+    assert "0.25" in where and "(1, 0)" in where
+
+
+def test_first_divergence_reports_meta_and_keys():
+    assert "meta" in first_divergence(np.zeros(3), np.zeros(4))
+    assert "key sets" in first_divergence({"a": 1}, {"b": 1})
+    assert first_divergence({"a": np.ones(2)}, {"a": np.ones(2)}) is None
+
+
+# ---------------------------------------------------------------------------
+# Auditing
+# ---------------------------------------------------------------------------
+
+def test_deterministic_cell_passes():
+    cell = AuditCell("seeded", lambda: {
+        "draw": np.random.default_rng(7).normal(size=8)})
+    (report,) = audit_cells([cell], runs=3)
+    assert report.deterministic
+    assert len(set(report.fingerprints)) == 1
+    assert report.divergence is None
+
+
+def test_injected_unseeded_rng_cell_is_caught():
+    # The regression class the auditor exists for: someone drops the seed
+    # and every rerun silently disagrees with the cached result.
+    state = np.random.default_rng()          # repro: noqa[R001] -- deliberate nondeterminism under test
+    cell = AuditCell("unseeded", lambda: {
+        "draw": state.normal(size=8), "count": 8})
+    (report,) = audit_cells([cell], runs=2)
+    assert not report.deterministic
+    assert report.divergence is not None
+    assert "$.draw" in report.divergence      # located, not just detected
+
+
+def test_audit_requires_two_runs():
+    with pytest.raises(ValueError):
+        audit_cells([], runs=1)
+
+
+def test_default_cells_are_deterministic():
+    reports = audit_cells(determinism.default_cells(), runs=2)
+    assert len(reports) == 4
+    broken = [r.name for r in reports if not r.deterministic]
+    assert not broken, f"nondeterministic cells: {broken}"
+
+
+def test_cli_audit(capsys):
+    assert analysis_main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 cells deterministic" in out

@@ -1,0 +1,106 @@
+"""Gradient-check harness tests: every registered case passes, and a
+deliberately wrong backward formula demonstrably fails."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import gradcheck
+from repro.analysis.cli import main as analysis_main
+from repro.nn import Tensor
+
+pytestmark = pytest.mark.analysis
+
+
+def test_every_registered_case_passes():
+    results = gradcheck.run()
+    assert len(results) >= 18            # layers + activations + losses
+    failed = [r for r in results if not r.passed]
+    assert not failed, "\n".join(
+        f"{r.name}: max_rel={r.max_rel_error:.3e} worst={r.worst}"
+        for r in failed)
+    # float64 central differences resolve far below the acceptance tol —
+    # a pass near the tolerance boundary would itself be suspicious.
+    assert max(r.max_rel_error for r in results) < 1e-6
+
+
+def test_unknown_case_raises():
+    with pytest.raises(KeyError, match="no_such_case"):
+        gradcheck.run(names=["no_such_case"])
+
+
+def _broken_gradient_build():
+    """A scalar loss whose registered backward is off by a factor of 2."""
+    rng = np.random.default_rng(3)
+    x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+
+    def forward() -> Tensor:
+        # loss = sum(x^2); correct dL/dx = 2x.  Build it via the
+        # (correct) autodiff graph, then sabotage the result by scaling
+        # the analytic gradient after backward.
+        return (x * x).sum()
+
+    class Sabotaged:
+        """Wraps ``x`` so the harness reads a perturbed .grad."""
+        data = x.data
+
+        @property
+        def grad(self):
+            return None if x.grad is None else 2.0 * x.grad
+
+        @grad.setter
+        def grad(self, value):
+            x.grad = value
+
+    return forward, [("x", Sabotaged())]
+
+
+def test_broken_gradient_fails_the_check():
+    result = gradcheck.check_build("sabotaged", _broken_gradient_build)
+    assert not result.passed
+    assert result.max_rel_error > 0.1    # off by 2x, not roundoff noise
+    assert "x[" in result.worst
+
+
+def test_perturbed_registered_case_fails():
+    # Same property through the real registry: perturb one weight's
+    # analytic gradient by rebuilding linear with a wrapped checked list.
+    build = gradcheck.CASES["linear"]
+
+    def sabotaged():
+        forward, checked = build()
+
+        class Wrong:
+            def __init__(self, tensor):
+                self._t = tensor
+                self.data = tensor.data
+
+            @property
+            def grad(self):
+                g = self._t.grad
+                return None if g is None else g + 0.5
+
+            @grad.setter
+            def grad(self, value):
+                self._t.grad = value
+
+        label, tensor = checked[0]
+        return forward, [(label, Wrong(tensor))] + checked[1:]
+
+    result = gradcheck.check_build("linear-sabotaged", sabotaged)
+    assert not result.passed
+
+
+def test_cli_gradcheck_single_case(capsys):
+    assert analysis_main(["gradcheck", "--case", "linear", "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ok " in out and "1/1 cases passed" in out
+
+
+def test_cli_gradcheck_json(capsys):
+    import json
+    assert analysis_main(
+        ["gradcheck", "--case", "mse_loss", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failed"] == 0
+    assert payload["results"][0]["name"] == "mse_loss"
+    assert payload["results"][0]["passed"] is True

@@ -1,0 +1,246 @@
+"""Unit tests for the repro.analysis.lint rule set.
+
+Each rule gets a positive fixture (violating snippet), a sanctioned
+counterpart (clean snippet in the same scope), and a suppression check.
+The on-disk fixture tree under ``fixtures/bad`` carries exactly one
+violation per rule and backs the CLI exit-status tests.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.lint import LintConfig, RULES, lint_paths, lint_source
+
+pytestmark = pytest.mark.analysis
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BAD_TREE = os.path.join(HERE, "fixtures", "bad")
+SRC_TREE = os.path.join(os.path.dirname(os.path.dirname(HERE)), "src", "repro")
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# R001: no unseeded RNG
+# ---------------------------------------------------------------------------
+
+def test_r001_flags_unseeded_default_rng():
+    findings = lint_source(
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "src/repro/x.py")
+    assert rules_of(findings) == ["R001"]
+
+
+def test_r001_flags_legacy_global_rng():
+    findings = lint_source(
+        "import numpy as np\nx = np.random.normal(0, 1, 4)\n",
+        "src/repro/x.py")
+    assert rules_of(findings) == ["R001"]
+
+
+def test_r001_allows_seeded_rng():
+    source = ("import numpy as np\n"
+              "rng = np.random.default_rng(0)\n"
+              "other = np.random.default_rng(seed)\n")
+    assert lint_source(source, "src/repro/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R002: no wall-clock / nondeterminism in experiment paths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "import time\nt = time.time()\n",
+    "import os\nnoise = os.urandom(8)\n",
+    "import datetime\nnow = datetime.datetime.now()\n",
+    "for item in {1, 2}:\n    pass\n",
+])
+def test_r002_flags_nondeterminism_in_runtime(snippet):
+    findings = lint_source(snippet, "src/repro/runtime/x.py")
+    assert "R002" in rules_of(findings)
+
+
+def test_r002_scoped_to_experiment_paths():
+    # The same wall-clock read is legitimate outside result-producing paths
+    # (e.g. viz, top-level scripts).
+    source = "import time\nt = time.time()\n"
+    assert lint_source(source, "src/repro/viz/x.py") == []
+
+
+def test_r002_allows_sorted_set_iteration():
+    source = "for item in sorted({1, 2}):\n    pass\n"
+    assert lint_source(source, "src/repro/runtime/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R003: env reads go through the registry
+# ---------------------------------------------------------------------------
+
+def test_r003_flags_direct_repro_env_read():
+    findings = lint_source(
+        "import os\nv = os.environ['REPRO_WORKERS']\n", "src/repro/x.py")
+    assert rules_of(findings) == ["R003"]
+
+
+def test_r003_resolves_module_level_name_constants():
+    source = ("import os\n"
+              "KEY = 'REPRO_CACHE_DIR'\n"
+              "v = os.environ.get(KEY)\n")
+    assert rules_of(lint_source(source, "src/repro/x.py")) == ["R003"]
+
+
+def test_r003_allows_non_repro_variables():
+    source = "import os\nhome = os.getenv('HOME')\n"
+    assert lint_source(source, "src/repro/x.py") == []
+
+
+def test_r003_exempts_the_registry_module():
+    source = "import os\nv = os.environ.get('REPRO_WORKERS')\n"
+    assert lint_source(source, "src/repro/runtime/env.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R004: fork/pickle-safe grid cells
+# ---------------------------------------------------------------------------
+
+def test_r004_flags_lambda_cell():
+    findings = lint_source(
+        "from repro.runtime import parallel_map\n"
+        "r = parallel_map(lambda x: x, [1])\n", "src/repro/x.py")
+    assert rules_of(findings) == ["R004"]
+
+
+def test_r004_flags_nested_def_cell():
+    source = ("from repro.runtime import parallel_map\n"
+              "def run(items):\n"
+              "    def cell(item):\n"
+              "        return item\n"
+              "    return parallel_map(cell, items)\n")
+    assert rules_of(lint_source(source, "src/repro/x.py")) == ["R004"]
+
+
+def test_r004_flags_grid_lambda_capturing_loop_variable():
+    source = ("from repro.runtime import GridRunner\n"
+              "def build(items):\n"
+              "    g = GridRunner('t')\n"
+              "    for name in items:\n"
+              "        g.add(name, lambda: name)\n")
+    assert rules_of(lint_source(source, "src/repro/x.py")) == ["R004"]
+
+
+def test_r004_sanctions_default_arg_binding():
+    source = ("from repro.runtime import GridRunner\n"
+              "def build(items):\n"
+              "    g = GridRunner('t')\n"
+              "    for name in items:\n"
+              "        g.add(name, lambda name=name: name)\n")
+    assert lint_source(source, "src/repro/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R005: no float equality
+# ---------------------------------------------------------------------------
+
+def test_r005_flags_float_equality_in_nn():
+    findings = lint_source(
+        "def f(x):\n    return x == 0.3\n", "src/repro/nn/x.py")
+    assert rules_of(findings) == ["R005"]
+
+
+def test_r005_not_applied_outside_scope():
+    source = "def f(x):\n    return x == 0.3\n"
+    assert lint_source(source, "src/repro/attacks/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+def test_justified_noqa_suppresses():
+    source = ("def f(x):\n"
+              "    return x == 0.5  "
+              "# repro: noqa[R005] -- exact by construction\n")
+    assert lint_source(source, "src/repro/nn/x.py") == []
+
+
+def test_justified_noqa_visible_with_report_suppressed():
+    source = ("def f(x):\n"
+              "    return x == 0.5  "
+              "# repro: noqa[R005] -- exact by construction\n")
+    findings = lint_source(source, "src/repro/nn/x.py",
+                           LintConfig(report_suppressed=True))
+    assert [(f.rule, f.suppressed) for f in findings] == [("R005", True)]
+    assert findings[0].justification == "exact by construction"
+
+
+def test_bare_noqa_missing_justification_is_r000():
+    source = "def f(x):\n    return x == 0.5  # repro: noqa[R005]\n"
+    findings = lint_source(source, "src/repro/nn/x.py")
+    assert rules_of(findings) == ["R000", "R005"]
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    source = ("def f(x):\n"
+              "    return x == 0.5  # repro: noqa[R001] -- wrong rule\n")
+    findings = lint_source(source, "src/repro/nn/x.py")
+    assert rules_of(findings) == ["R005"]
+
+
+def test_syntax_error_reports_r000():
+    findings = lint_source("def broken(:\n", "src/repro/x.py")
+    assert rules_of(findings) == ["R000"]
+
+
+# ---------------------------------------------------------------------------
+# The fixture tree and the CLI
+# ---------------------------------------------------------------------------
+
+def test_fixture_tree_has_one_violation_per_rule():
+    findings, scanned = lint_paths([BAD_TREE])
+    assert scanned == 5
+    assert sorted(rules_of(findings)) == [
+        "R001", "R002", "R003", "R004", "R005"]
+
+
+def test_cli_lint_fails_on_fixture_tree(capsys):
+    assert analysis_main(["lint", BAD_TREE]) == 1
+    out = capsys.readouterr().out
+    assert "5 violation(s)" in out
+
+
+def test_cli_lint_clean_on_src_tree(capsys):
+    assert analysis_main(["lint", SRC_TREE]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_select_single_rule():
+    assert analysis_main(["lint", "--select", "R003", BAD_TREE]) == 1
+    assert analysis_main(
+        ["lint", "--select", "R003",
+         os.path.join(BAD_TREE, "repro", "nn", "floateq.py")]) == 0
+
+
+def test_cli_lint_unknown_rule_id_is_usage_error(capsys):
+    assert analysis_main(["lint", "--select", "R999", BAD_TREE]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_lint_json_output(capsys):
+    import json
+    assert analysis_main(["lint", "--json", BAD_TREE]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 5
+    assert payload["errors"] == 5
+    assert {f["rule"] for f in payload["findings"]} == {
+        "R001", "R002", "R003", "R004", "R005"}
+
+
+def test_rule_ids_are_unique_and_documented():
+    ids = [rule.id for rule in RULES]
+    assert len(ids) == len(set(ids))
+    for rule in RULES:
+        assert rule.invariant, f"{rule.id} lacks an invariant description"

@@ -1,0 +1,14 @@
+"""Suite-wide configuration.
+
+Honors ``REPRO_SANITIZE`` for the whole test session: the CI analyze tier
+runs the smoke tests under ``REPRO_SANITIZE=nan,alias`` so the tape
+sanitizer and optimizer-aliasing detector sweep real forward/backward
+traffic, not just their own unit tests.  With the variable unset this is a
+no-op and the suite runs exactly as before.
+"""
+
+from repro.analysis.sanitize import install_from_env
+
+
+def pytest_configure(config):
+    install_from_env()

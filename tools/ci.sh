@@ -3,6 +3,7 @@
 #
 #   tools/ci.sh          # smoke tier, then the fault-robustness tier
 #   tools/ci.sh full     # ... then the full test suite
+#   tools/ci.sh analyze  # static lint + analysis tier + sanitized smoke run
 #
 # Tier 1 (smoke): fast confidence check — see tools/smoke.sh.
 # Tier 2 (faults): the fault-injection robustness suite (pytest -m faults):
@@ -10,9 +11,28 @@
 #   graceful degradation, runtime crash/hang/retry recovery, and the
 #   serial/parallel/cached determinism guarantees under active fault plans.
 # Tier 3 (full, opt-in): everything.
+# Analyze tier (opt-in): the repro.analysis toolchain — AST lint over
+#   src/repro, the env-var table drift check, the analysis test suite
+#   (lint rules, gradcheck, determinism audit, sanitizers), and the smoke
+#   tier re-run under live REPRO_SANITIZE=nan,alias hooks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+if [[ "${1:-}" == "analyze" ]]; then
+    echo "== CI analyze: static lint =="
+    python -m repro.cli analyze lint src/repro
+
+    echo "== CI analyze: env-var table drift =="
+    python -m repro.cli analyze envdoc --check README.md
+
+    echo "== CI analyze: analysis suite =="
+    python -m pytest -m analysis -q
+
+    echo "== CI analyze: smoke under sanitizers =="
+    REPRO_SANITIZE=nan,alias python -m pytest -m smoke -q
+    exit 0
+fi
 
 echo "== CI tier 1: smoke =="
 python -m pytest -m smoke -q
