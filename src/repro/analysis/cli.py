@@ -38,6 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="+", help="files or directory trees")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule ids (default: all)")
+    lint.add_argument("--exclude", action="append", default=None,
+                      metavar="SUBSTRING",
+                      help="skip files whose path contains SUBSTRING "
+                           "(repeatable; e.g. tests/analysis/fixtures)")
     lint.add_argument("--show-suppressed", action="store_true",
                       help="also report justified noqa suppressions")
     lint.add_argument("--json", action="store_true", dest="as_json")
@@ -55,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser("audit", help="re-execute cells, diff fingerprints")
     audit.add_argument("--runs", type=int, default=2)
+    audit.add_argument("--grid-slice", action="store_true",
+                       help="also audit one real Table II cell per defense "
+                            "family (slower; exercises the composed grid "
+                            "pipeline)")
     audit.add_argument("--json", action="store_true", dest="as_json")
 
     envdoc = sub.add_parser(
@@ -80,7 +88,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                   f"known: {sorted(known)}", file=sys.stderr)
             return 2
     config = LintConfig(select=select,
-                        report_suppressed=args.show_suppressed)
+                        report_suppressed=args.show_suppressed,
+                        exclude=tuple(args.exclude or ()))
     findings, scanned = lint_paths(args.paths, config)
     errors = [f for f in findings if not f.suppressed]
     if args.as_json:
@@ -118,8 +127,10 @@ def _cmd_gradcheck(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    reports = determinism.audit_cells(determinism.default_cells(),
-                                      runs=args.runs)
+    cells = determinism.default_cells()
+    if args.grid_slice:
+        cells += determinism.grid_slice_cells()
+    reports = determinism.audit_cells(cells, runs=args.runs)
     broken = [r for r in reports if not r.deterministic]
     if args.as_json:
         print(json.dumps({"reports": [r.to_json() for r in reports],

@@ -91,9 +91,14 @@ class LintConfig:
 
     select: Optional[Set[str]] = None       # None = all registered rules
     report_suppressed: bool = False         # include justified suppressions
+    exclude: Tuple[str, ...] = ()           # path substrings to skip
 
     def active(self, rule: "Rule") -> bool:
         return self.select is None or rule.id in self.select
+
+    def excluded(self, path: str) -> bool:
+        p = _normalize(path)
+        return any(part in p for part in self.exclude)
 
 
 class Rule:
@@ -565,6 +570,8 @@ def lint_paths(paths: Iterable[str],
     findings: List[Violation] = []
     scanned = 0
     for filename in iter_python_files(paths):
+        if config.excluded(filename):
+            continue
         scanned += 1
         with open(filename, encoding="utf-8") as handle:
             source = handle.read()

@@ -132,6 +132,43 @@ def op_name(backward: Any) -> str:
     return qual.split(".<locals>")[0]
 
 
+def op_parameters(backward: Any) -> list:
+    """Named parameter tensors captured by a backward closure.
+
+    ``Module.named_parameters`` stamps each parameter's dotted path onto
+    ``Tensor.name``; the backward closure of an op holds its input tensors
+    in ``__closure__``, so the intersection is exactly the weight tensors
+    this op touched.
+    """
+    found = {}
+    for cell in getattr(backward, "__closure__", None) or ():
+        try:
+            value = cell.cell_contents
+        except ValueError:  # pragma: no cover - empty cell
+            continue
+        name = getattr(value, "name", None)
+        if name and isinstance(getattr(value, "data", None), np.ndarray):
+            found[name] = value
+    return [found[name] for name in sorted(found)]
+
+
+def parameter_report(backward: Any) -> str:
+    """Which named weight tensors the failing op used, flagging bad ones."""
+    notes = []
+    for tensor in op_parameters(backward):
+        flags = []
+        if non_finite_report(tensor.data) is not None:
+            flags.append("non-finite data")
+        grad = getattr(tensor, "grad", None)
+        if grad is not None and non_finite_report(grad) is not None:
+            flags.append("non-finite grad")
+        suffix = f" <-- {', '.join(flags)}" if flags else ""
+        notes.append(f"{tensor.name}{suffix}")
+    if not notes:
+        return ""
+    return "; parameters in op: " + ", ".join(notes)
+
+
 def tape_check(phase: str, array: np.ndarray, op: Any) -> None:
     """Installed as :data:`repro.nn.hooks.TAPE_CHECK` under mode ``nan``."""
     report = non_finite_report(array)
@@ -140,7 +177,8 @@ def tape_check(phase: str, array: np.ndarray, op: Any) -> None:
     kind = "output of" if phase == "forward" else "gradient flowing out of"
     raise SanitizeError(
         f"tape sanitizer: non-finite {phase} {kind} op "
-        f"{op_name(op)} (module path: {hooks.module_path()}): {report}")
+        f"{op_name(op)} (module path: {hooks.module_path()}): {report}"
+        f"{parameter_report(op)}")
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,8 @@
     python -m repro table1 --no-cache    # recompute, ignore the result cache
     python -m repro analyze lint src     # correctness tooling (see
                                          # repro.analysis.cli for verbs)
+    python -m repro run table3           # journaled run (gets a run id)
+    python -m repro run table3 --resume run-0001   # replay completed cells
 
 Results print to stdout and are also written under ``--out`` (default
 ``results/``).  Every run also writes ``BENCH_runtime.json`` (per-cell
@@ -125,6 +127,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _journaled_main(argv) -> int:
+    """``run`` subcommand: same experiments, under a per-run journal.
+
+    ``--resume <id>`` reopens an earlier run's journal: grid cells it
+    records as completed (and still cached) replay as hits, training paths
+    pick up from their epoch snapshots, and anything the journal promises
+    but the cache lost is recomputed with a loud ``lost`` event.
+    """
+    from .runtime import journal
+
+    resume = None
+    rest = []
+    tokens = iter(argv)
+    for token in tokens:
+        if token == "--resume":
+            resume = next(tokens, None)
+            if resume is None:
+                print("error: --resume requires a run id (e.g. run-0001)",
+                      file=sys.stderr)
+                return 2
+        elif token.startswith("--resume="):
+            resume = token.split("=", 1)[1]
+        else:
+            rest.append(token)
+    try:
+        log = journal.start_run(resume)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if resume:
+        counts = log.summary()
+        done = counts.get("cell", 0)
+        faults = counts.get("store-fault", 0) + counts.get("cell-fault", 0)
+        print(f"resuming {log.run_id}: journal has {done} cell event(s), "
+              f"{faults} fault event(s) — completed work replays from cache")
+    else:
+        print(f"run id: {log.run_id} (journal: {log.path})")
+    log.append({"event": "run-start", "argv": list(rest),
+                "resumed": bool(resume)})
+    code = 1
+    try:
+        code = main(rest)
+    finally:
+        log.append({"event": "run-end", "exit_code": code})
+        print(f"run {log.run_id} journal: {log.path}")
+    return code
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -133,6 +183,8 @@ def main(argv=None) -> int:
         # one program name: `python -m repro.cli analyze lint src/repro`.
         from .analysis.cli import main as analyze_main
         return analyze_main(list(argv[1:]))
+    if argv and argv[0] == "run":
+        return _journaled_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     # Honor REPRO_SANITIZE for experiment runs launched through the CLI.
     from .analysis.sanitize import install_from_env

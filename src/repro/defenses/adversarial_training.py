@@ -27,7 +27,8 @@ from ..attacks.base import (Attack, boxes_to_mask, detector_loss_fn,
                             regressor_loss_fn)
 from ..models.detector import TinyDetector
 from ..models.distance import DistanceRegressor
-from ..models.training import train_detector, train_regressor
+from ..models.training import (EpochCheckpointer, train_detector,
+                               train_regressor)
 from ..nn import Adam, Tensor
 
 
@@ -97,7 +98,8 @@ def adversarial_train_detector(adv_images: np.ndarray,
                                clean_targets: Optional[Sequence] = None,
                                epochs: int = 30, seed: int = 0,
                                lr: float = 1e-3,
-                               init_from: Optional[TinyDetector] = None
+                               init_from: Optional[TinyDetector] = None,
+                               checkpoint: Optional[EpochCheckpointer] = None
                                ) -> TinyDetector:
     """Train a detector on adversarial (plus optional clean) examples.
 
@@ -112,7 +114,8 @@ def adversarial_train_detector(adv_images: np.ndarray,
         targets = list(adv_targets) + list(clean_targets)
     else:
         images, targets = adv_images, list(adv_targets)
-    train_detector(model, images, targets, epochs=epochs, seed=seed, lr=lr)
+    train_detector(model, images, targets, epochs=epochs, seed=seed, lr=lr,
+                   checkpoint=checkpoint)
     return model
 
 
@@ -122,7 +125,8 @@ def adversarial_train_regressor(adv_images: np.ndarray,
                                 clean_distances: Optional[np.ndarray] = None,
                                 epochs: int = 30, seed: int = 0,
                                 lr: float = 1e-3,
-                                init_from: Optional[DistanceRegressor] = None
+                                init_from: Optional[DistanceRegressor] = None,
+                                checkpoint: Optional[EpochCheckpointer] = None
                                 ) -> DistanceRegressor:
     """Train a distance regressor on adversarial (plus clean) frames.
 
@@ -136,7 +140,8 @@ def adversarial_train_regressor(adv_images: np.ndarray,
         distances = np.concatenate([adv_distances, clean_distances])
     else:
         images, distances = adv_images, adv_distances
-    train_regressor(model, images, distances, epochs=epochs, seed=seed, lr=lr)
+    train_regressor(model, images, distances, epochs=epochs, seed=seed, lr=lr,
+                    checkpoint=checkpoint)
     return model
 
 
@@ -145,7 +150,8 @@ def distance_aware_adversarial_train_regressor(
         clean_images: np.ndarray, clean_distances: np.ndarray,
         epochs: int = 20, seed: int = 0, lr: float = 1e-3,
         init_from: Optional[DistanceRegressor] = None,
-        far_weight: float = 3.0) -> DistanceRegressor:
+        far_weight: float = 3.0,
+        checkpoint: Optional[EpochCheckpointer] = None) -> DistanceRegressor:
     """The paper's §VI future-work direction: distance-aware loss weighting.
 
     Mixed adversarial training buys close-range robustness at a long-range
@@ -165,7 +171,8 @@ def distance_aware_adversarial_train_regressor(
     model = DistanceRegressor(rng=np.random.default_rng(seed))
     if init_from is not None:
         model.load_state_dict(init_from.state_dict())
-    train_regressor(model, images, distances, epochs=epochs, seed=seed, lr=lr)
+    train_regressor(model, images, distances, epochs=epochs, seed=seed, lr=lr,
+                    checkpoint=checkpoint)
     return model
 
 
@@ -173,14 +180,24 @@ def online_adversarial_train_detector(images: np.ndarray,
                                       targets: Sequence[Sequence],
                                       attack: Attack, epochs: int = 20,
                                       batch_size: int = 16, lr: float = 1e-3,
-                                      seed: int = 0) -> TinyDetector:
+                                      seed: int = 0,
+                                      checkpoint: Optional[EpochCheckpointer]
+                                      = None) -> TinyDetector:
     """Textbook min–max adversarial training (inner max regenerated per
-    batch) — the ablation comparator for the paper's offline protocol."""
+    batch) — the ablation comparator for the paper's offline protocol.
+
+    Resume-equivalence under ``checkpoint`` requires a stateless ``attack``
+    (FGSM/PGD-style): the epoch snapshot captures model, optimizer and the
+    shuffling RNG, not any RNG inside the attack object.
+    """
     rng = np.random.default_rng(seed)
     model = TinyDetector(rng=np.random.default_rng(seed))
     optimizer = Adam(model.parameters(), lr=lr)
+    start_epoch = 0
+    if checkpoint is not None:
+        start_epoch, _ = checkpoint.resume(model, optimizer, rng)
     model.train()
-    for _ in range(epochs):
+    for epoch in range(start_epoch, epochs):
         order = rng.permutation(len(images))
         for start in range(0, len(images), batch_size):
             batch = order[start:start + batch_size]
@@ -191,5 +208,7 @@ def online_adversarial_train_detector(images: np.ndarray,
             loss = model.loss(Tensor(adv), batch_targets)
             loss.backward()
             optimizer.step()
+        if checkpoint is not None:
+            checkpoint.save(epoch + 1, model, optimizer, rng, [])
     model.eval()
     return model

@@ -17,19 +17,31 @@ import numpy as np
 from ..data.transforms import simclr_augment
 from ..models.detector import TinyDetector
 from ..models.projection import ProjectionHead
-from ..models.training import train_detector
-from ..nn import Adam, Tensor, losses
+from ..models.training import EpochCheckpointer, train_detector
+from ..nn import Adam, Module, Tensor, losses
 from ..nn import functional as F
+
+
+class _PretrainState(Module):
+    """Composite module so one snapshot covers backbone + projection head."""
+
+    def __init__(self, backbone, head):
+        super().__init__()
+        self.backbone = backbone
+        self.head = head
 
 
 def contrastive_pretrain(detector: TinyDetector, images: np.ndarray,
                          epochs: int = 15, batch_size: int = 16,
                          temperature: float = 0.2, margin: float = 0.2,
-                         lr: float = 3e-3, seed: int = 0) -> List[float]:
+                         lr: float = 3e-3, seed: int = 0,
+                         checkpoint: Optional[EpochCheckpointer] = None
+                         ) -> List[float]:
     """Pretrain ``detector.backbone`` with InfoNCE; returns loss history.
 
     The projection head is created here and thrown away afterwards, as in
-    SimCLR.
+    SimCLR.  Epoch snapshots (``checkpoint``) cover the backbone, the head
+    and the augmentation RNG, so a killed pretraining resumes bit-identically.
     """
     rng = np.random.default_rng(seed)
     head = ProjectionHead(in_dim=detector.backbone.out_channels,
@@ -37,9 +49,13 @@ def contrastive_pretrain(detector: TinyDetector, images: np.ndarray,
     params = list(detector.backbone.parameters()) + list(head.parameters())
     optimizer = Adam(params, lr=lr)
     history: List[float] = []
+    start_epoch = 0
+    if checkpoint is not None:
+        composite = _PretrainState(detector.backbone, head)
+        start_epoch, history = checkpoint.resume(composite, optimizer, rng)
     detector.train()
     head.train()
-    for _ in range(epochs):
+    for epoch in range(start_epoch, epochs):
         order = rng.permutation(len(images))
         epoch_losses = []
         for start in range(0, len(images), batch_size):
@@ -57,6 +73,8 @@ def contrastive_pretrain(detector: TinyDetector, images: np.ndarray,
             optimizer.step()
             epoch_losses.append(loss.item())
         history.append(float(np.mean(epoch_losses)))
+        if checkpoint is not None:
+            checkpoint.save(epoch + 1, composite, optimizer, rng, history)
     detector.eval()
     return history
 
@@ -66,16 +84,35 @@ def contrastive_train_detector(pretrain_images: np.ndarray,
                                finetune_targets: Sequence[Sequence],
                                pretrain_epochs: int = 15,
                                finetune_epochs: int = 25,
-                               seed: int = 0) -> TinyDetector:
+                               seed: int = 0,
+                               checkpoint: Optional[EpochCheckpointer] = None
+                               ) -> TinyDetector:
     """Full §V-C.3 pipeline: contrastive pretraining then task fine-tuning.
 
     ``pretrain_images`` is typically the union of clean and adversarial
     examples (the paper uses "the same training and test sets as adversarial
     training"); fine-tuning uses the labelled detection set.
+
+    ``checkpoint`` fans out into one snapshot per phase; the pretrain
+    snapshot is kept until the *whole* pipeline finishes, so a kill during
+    fine-tuning does not re-run pretraining.
     """
+    pre_ckpt = fine_ckpt = None
+    if checkpoint is not None:
+        pre_ckpt = EpochCheckpointer(checkpoint.path + ".pre",
+                                     every=checkpoint.every,
+                                     label=checkpoint.label + ".pretrain")
+        fine_ckpt = EpochCheckpointer(checkpoint.path + ".fine",
+                                      every=checkpoint.every,
+                                      label=checkpoint.label + ".finetune")
     model = TinyDetector(rng=np.random.default_rng(seed))
     contrastive_pretrain(model, pretrain_images, epochs=pretrain_epochs,
-                         seed=seed)
+                         seed=seed, checkpoint=pre_ckpt)
     train_detector(model, finetune_images, list(finetune_targets),
-                   epochs=finetune_epochs, seed=seed, lr=1e-3)
+                   epochs=finetune_epochs, seed=seed, lr=1e-3,
+                   checkpoint=fine_ckpt)
+    if pre_ckpt is not None:
+        pre_ckpt.finalize()
+    if fine_ckpt is not None:
+        fine_ckpt.finalize()
     return model

@@ -32,6 +32,7 @@ from typing import List, Optional
 import numpy as np
 
 from .base import InputDefense
+from ..models.training import EpochCheckpointer
 from ..nn import Adam, Conv2d, Module, SiLU, Tensor, losses
 from ..nn import functional as F
 
@@ -105,13 +106,24 @@ class DenoisingDiffusionModel:
 
     # -- training --------------------------------------------------------
     def train(self, images: np.ndarray, epochs: int = 20,
-              batch_size: int = 32, lr: float = 2e-3) -> List[float]:
-        """Denoising score matching on clean images; returns loss history."""
+              batch_size: int = 32, lr: float = 2e-3,
+              checkpoint: Optional[EpochCheckpointer] = None) -> List[float]:
+        """Denoising score matching on clean images; returns loss history.
+
+        Epoch snapshots (``checkpoint``) capture the noise-predictor
+        weights, the Adam moments and ``self._rng`` (which drives batch
+        order, timestep draws and noise), so a killed prior training
+        resumes bit-identically.
+        """
         data = self.to_model_space(images)
         optimizer = Adam(self.network.parameters(), lr=lr)
         history: List[float] = []
+        start_epoch = 0
+        if checkpoint is not None:
+            start_epoch, history = checkpoint.resume(self.network, optimizer,
+                                                     self._rng)
         self.network.train()
-        for _ in range(epochs):
+        for epoch in range(start_epoch, epochs):
             order = self._rng.permutation(len(data))
             epoch_losses = []
             for start in range(0, len(data), batch_size):
@@ -127,6 +139,9 @@ class DenoisingDiffusionModel:
                 optimizer.step()
                 epoch_losses.append(loss.item())
             history.append(float(np.mean(epoch_losses)))
+            if checkpoint is not None:
+                checkpoint.save(epoch + 1, self.network, optimizer,
+                                self._rng, history)
         self.network.eval()
         return history
 

@@ -71,12 +71,12 @@ def _retrained_detector(source: str, adv_sets, clean_images, clean_targets,
         adv_images = adv_sets[source]
         adv_targets = list(clean_targets)
 
-    def train(model):
+    def train(model, checkpoint=None):
         model.load_state_dict(base.state_dict())  # fine-tune, per the paper
         images = np.concatenate([adv_images, clean_images])
         targets = list(adv_targets) + list(clean_targets)
         train_detector(model, images, targets, epochs=RETRAIN_EPOCHS_DET,
-                       seed=0, lr=1e-3)
+                       seed=0, lr=1e-3, checkpoint=checkpoint)
 
     return cached_model(
         "table3-det", {"source": source, "scenes": TRAIN_SCENES,
@@ -95,12 +95,13 @@ def _retrained_regressor(source: str, adv_sets, clean_images,
         adv_images = adv_sets[source]
         adv_distances = clean_distances
 
-    def train(model):
+    def train(model, checkpoint=None):
         model.load_state_dict(base.state_dict())  # fine-tune, per the paper
         images = np.concatenate([adv_images, clean_images])
         distances = np.concatenate([adv_distances, clean_distances])
         train_regressor(model, images, distances,
-                        epochs=RETRAIN_EPOCHS_REG, seed=0, lr=1e-3)
+                        epochs=RETRAIN_EPOCHS_REG, seed=0, lr=1e-3,
+                        checkpoint=checkpoint)
 
     return cached_model(
         "table3-reg", {"source": source, "frames": TRAIN_FRAMES,

@@ -48,11 +48,28 @@ class Table4Row:
 def _contrastive_detector(source: str, adv_images: np.ndarray,
                           clean_images: np.ndarray,
                           clean_targets) -> TinyDetector:
-    def train(model):
+    def train(model, checkpoint=None):
+        from ..models.training import EpochCheckpointer
+        pre_ckpt = fine_ckpt = None
+        if checkpoint is not None:
+            # One snapshot per phase; both kept until the zoo finalizes the
+            # whole variant, so a kill mid-finetune skips re-pretraining.
+            pre_ckpt = EpochCheckpointer(checkpoint.path + ".pre",
+                                         every=checkpoint.every,
+                                         label=checkpoint.label + ".pretrain")
+            fine_ckpt = EpochCheckpointer(checkpoint.path + ".fine",
+                                          every=checkpoint.every,
+                                          label=checkpoint.label + ".finetune")
         pretrain = np.concatenate([clean_images, adv_images])
-        contrastive_pretrain(model, pretrain, epochs=PRETRAIN_EPOCHS, seed=0)
+        contrastive_pretrain(model, pretrain, epochs=PRETRAIN_EPOCHS, seed=0,
+                             checkpoint=pre_ckpt)
         train_detector(model, clean_images, list(clean_targets),
-                       epochs=FINETUNE_EPOCHS, seed=0, lr=1e-3)
+                       epochs=FINETUNE_EPOCHS, seed=0, lr=1e-3,
+                       checkpoint=fine_ckpt)
+        if pre_ckpt is not None:
+            pre_ckpt.finalize()
+        if fine_ckpt is not None:
+            fine_ckpt.finalize()
 
     return cached_model(
         "table4-contrastive", {"source": source, "scenes": TRAIN_SCENES,

@@ -29,6 +29,24 @@ count per ``maybe_inject_scope`` call site via the caller's attempt number.
 execution of the item and the *retry succeeds* — which is exactly the
 recovery path the runtime hardening promises.  Plans are read from the
 environment at call time, so forked workers inherit them for free.
+
+**Disk-fault kinds** target the checkpoint store
+(:mod:`repro.runtime.store`) rather than the executor:
+
+* ``torn-write`` — the artifact is truncated mid-file after the rename
+  (simulates a crash between ``rename`` and the data reaching the platter),
+* ``enospc``    — the write fails with ``OSError(ENOSPC)`` and the
+  temp file is cleaned up (the previous artifact must survive intact),
+* ``bitrot``    — one byte of the final artifact is flipped after a
+  successful write (silent media corruption; the content digest must
+  catch it on the next load).
+
+They use the same grammar with the store's scope name
+(``REPRO_FAULT_PLAN=torn-write@store``, ``bitrot@store:attempt=2``); the
+store counts *write attempts per scope*, so ``attempt=0`` faults only the
+first write and the retry/reload path recovers.  Disk kinds never fire
+from :meth:`RuntimeFaultPlan.maybe_inject` / ``maybe_inject_scope`` — the
+store asks for them explicitly via :func:`maybe_disk_fault`.
 """
 
 from __future__ import annotations
@@ -47,7 +65,11 @@ FAULT_PLAN_ENV = env.FAULT_PLAN.name
 #: bounded so an unmonitored test can still terminate.
 HANG_SECONDS = 3600.0
 
-_KINDS = ("raise", "crash", "hang")
+#: kinds fired inside the executor / training paths (control-flow faults).
+_EXEC_KINDS = ("raise", "crash", "hang")
+#: kinds fired inside the checkpoint store (storage faults).
+DISK_KINDS = ("torn-write", "enospc", "bitrot")
+_KINDS = _EXEC_KINDS + DISK_KINDS
 
 
 class InjectedFault(RuntimeError):
@@ -127,7 +149,7 @@ class RuntimeFaultPlan:
         ``raise`` raises, ``crash`` kills the process, ``hang`` sleeps.
         """
         fault = self.lookup(index, attempt)
-        if fault is not None:
+        if fault is not None and fault.kind in _EXEC_KINDS:
             self._fire(fault, f"item {index}", attempt)
 
     def maybe_inject_scope(self, scope: str, attempt: int = 0) -> None:
@@ -138,8 +160,20 @@ class RuntimeFaultPlan:
         ``REPRO_FAULT_PLAN=raise@zoo.detector`` can target them.
         """
         fault = self.lookup(scope, attempt)
-        if fault is not None:
+        if fault is not None and fault.kind in _EXEC_KINDS:
             self._fire(fault, f"scope {scope!r}", attempt)
+
+    def disk_fault(self, scope: str, attempt: int = 0) -> Optional[str]:
+        """Planned *disk* fault kind for (scope, attempt), or ``None``.
+
+        Consumed by :mod:`repro.runtime.store`, which applies the actual
+        torn-write / ENOSPC / bit-flip semantics itself — this only answers
+        "is a storage fault scheduled here".
+        """
+        fault = self.lookup(scope, attempt)
+        if fault is not None and fault.kind in DISK_KINDS:
+            return fault.kind
+        return None
 
 
 def maybe_inject_scope(scope: str, attempt: int = 0) -> None:
@@ -147,3 +181,11 @@ def maybe_inject_scope(scope: str, attempt: int = 0) -> None:
     plan = RuntimeFaultPlan.from_env()
     if plan:
         plan.maybe_inject_scope(scope, attempt)
+
+
+def maybe_disk_fault(scope: str, attempt: int = 0) -> Optional[str]:
+    """Module-level convenience: planned disk-fault kind for ``scope``."""
+    plan = RuntimeFaultPlan.from_env()
+    if plan:
+        return plan.disk_fault(scope, attempt)
+    return None

@@ -9,6 +9,7 @@ by a configuration fingerprint; later calls load in milliseconds.  Set the
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import os
 from typing import Optional, Sequence, Tuple
@@ -19,10 +20,10 @@ from ..data.driving import generate_training_set
 from ..data.signs import SignDataset
 from ..faults.runtime import maybe_inject_scope
 from ..nn import serialize
-from ..runtime import env
+from ..runtime import env, journal
 from .detector import TinyDetector
 from .distance import DistanceRegressor
-from .training import train_detector, train_regressor
+from .training import EpochCheckpointer, train_detector, train_regressor
 
 # Default training configuration — small enough for CPU, large enough that
 # the models are genuinely good on clean data (the paper's clean baselines
@@ -52,6 +53,34 @@ def _cache_path(name: str, config: dict) -> str:
     return os.path.join(cache_dir(), f"{name}-{_fingerprint(config)}.npz")
 
 
+def _training_checkpoint(path: str, label: str) -> Optional[EpochCheckpointer]:
+    """Mid-training checkpointer for the artifact at ``path``, if enabled.
+
+    The snapshot lives next to the final artifact (``<path>.ckpt.npz``) and
+    is dropped by ``finalize()`` once the trained model is safely on disk.
+    """
+    if env.CKPT_EVERY.get() <= 0:
+        return None
+    return EpochCheckpointer(path + ".ckpt.npz", label=label)
+
+
+def _run_train(train, model, checkpoint: Optional[EpochCheckpointer]) -> None:
+    """Call a ``cached_model`` train callback, passing the checkpointer
+    through when the callback's signature accepts it (2+ positionals)."""
+    try:
+        parameters = inspect.signature(train).parameters.values()
+    except (TypeError, ValueError):  # builtins / partials without signature
+        train(model)
+        return
+    positional = [p for p in parameters
+                  if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]
+    variadic = any(p.kind == p.VAR_POSITIONAL for p in parameters)
+    if len(positional) >= 2 or variadic:
+        train(model, checkpoint)
+    else:
+        train(model)
+
+
 def get_sign_dataset(n_scenes: int = DETECTOR_TRAIN_SCENES, seed: int = 0
                      ) -> SignDataset:
     return SignDataset(n_scenes=n_scenes, seed=seed)
@@ -77,11 +106,16 @@ def get_detector(seed: int = 0, n_scenes: int = DETECTOR_TRAIN_SCENES,
         model.eval()
         return model
     maybe_inject_scope("zoo.detector")
+    journal.emit({"event": "train-start", "model": "detector", "path": path})
     dataset = get_sign_dataset(n_scenes, seed=seed)
+    checkpoint = _training_checkpoint(path, "zoo.detector")
     train_detector(model, dataset.images(),
                    [scene.boxes for scene in dataset.scenes],
-                   epochs=epochs, seed=seed)
+                   epochs=epochs, seed=seed, checkpoint=checkpoint)
     serialize.save_module(path, model)
+    if checkpoint is not None:
+        checkpoint.finalize()
+    journal.emit({"event": "train-done", "model": "detector", "path": path})
     model.eval()
     return model
 
@@ -97,9 +131,15 @@ def get_regressor(seed: int = 0, n_frames: int = REGRESSOR_TRAIN_FRAMES,
         model.eval()
         return model
     maybe_inject_scope("zoo.regressor")
+    journal.emit({"event": "train-start", "model": "regressor", "path": path})
     images, distances = get_driving_data(n_frames, seed=seed)
-    train_regressor(model, images, distances, epochs=epochs, seed=seed)
+    checkpoint = _training_checkpoint(path, "zoo.regressor")
+    train_regressor(model, images, distances, epochs=epochs, seed=seed,
+                    checkpoint=checkpoint)
     serialize.save_module(path, model)
+    if checkpoint is not None:
+        checkpoint.finalize()
+    journal.emit({"event": "train-done", "model": "regressor", "path": path})
     model.eval()
     return model
 
@@ -134,20 +174,27 @@ def get_diffusion(domain: str, seed: int = 0, epochs: int = DIFFUSION_EPOCHS,
                 "diffusion checkpoint %s does not fit the model; retraining",
                 path)
     maybe_inject_scope("zoo.diffusion")
+    journal.emit({"event": "train-start", "model": "diffusion", "path": path})
     if domain == "signs":
         images = SignDataset(n_images, seed=seed + 50).images()
     else:
         images, _ = generate_training_set(n_images, seed=seed + 50)
-    model.train(images, epochs=epochs)
+    checkpoint = _training_checkpoint(path, "zoo.diffusion")
+    model.train(images, epochs=epochs, checkpoint=checkpoint)
     serialize.save_state(path, model.state_dict())
+    if checkpoint is not None:
+        checkpoint.finalize()
+    journal.emit({"event": "train-done", "model": "diffusion", "path": path})
     return model
 
 
 def cached_model(name: str, config: dict, build, train) -> object:
     """Generic cache wrapper for defense-retrained model variants.
 
-    ``build()`` constructs the model; ``train(model)`` trains it in place.
-    Used by adversarial training / contrastive learning, which produce many
+    ``build()`` constructs the model; ``train(model)`` — or
+    ``train(model, checkpoint)`` for callbacks that thread the mid-training
+    :class:`EpochCheckpointer` into their loops — trains it in place.  Used
+    by adversarial training / contrastive learning, which produce many
     retrained variants (one per adversarial-example source).
     """
     path = _cache_path(name, config)
@@ -156,7 +203,12 @@ def cached_model(name: str, config: dict, build, train) -> object:
         model.eval()
         return model
     maybe_inject_scope(f"zoo.{name}")
-    train(model)
+    journal.emit({"event": "train-start", "model": name, "path": path})
+    checkpoint = _training_checkpoint(path, f"zoo.{name}")
+    _run_train(train, model, checkpoint)
     serialize.save_module(path, model)
+    if checkpoint is not None:
+        checkpoint.finalize()
+    journal.emit({"event": "train-done", "model": name, "path": path})
     model.eval()
     return model

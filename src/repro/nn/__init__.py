@@ -13,11 +13,12 @@ from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, ConvBlock,
                      Dropout, Flatten, LeakyReLU, Linear, MaxPool2d, Module,
                      ReLU, Sequential, SiLU, Tanh)
 from .optim import SGD, Adam, AdamW, CosineSchedule, StepSchedule, clip_grad_norm
-from .tensor import (Tensor, concatenate, default_dtype, precision,
-                     set_default_dtype, stack, where)
+from .tensor import (Tensor, capture_rng, concatenate, default_dtype,
+                     precision, restore_rng, set_default_dtype, stack, where)
 
 __all__ = [
     "Tensor", "concatenate", "stack", "where",
+    "capture_rng", "restore_rng",
     "default_dtype", "precision", "set_default_dtype",
     "Module", "Sequential", "Conv2d", "Linear", "BatchNorm1d", "BatchNorm2d",
     "MaxPool2d", "AvgPool2d", "Dropout", "Flatten", "ReLU", "LeakyReLU",

@@ -45,6 +45,10 @@ class Module:
 
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
         for name, param in self._params.items():
+            # Stamp the dotted path onto the tensor itself: every optimizer
+            # construction walks this, so sanitizer reports can name the
+            # exact weight that went non-finite (see repro.analysis.sanitize).
+            param.name = prefix + name
             yield prefix + name, param
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix + name + ".")

@@ -1,14 +1,33 @@
-"""Optimizers and learning-rate schedules."""
+"""Optimizers and learning-rate schedules.
+
+Optimizers expose ``state_dict()`` / ``load_state_dict()`` (flat
+``str -> ndarray`` maps, ``.npz``-embeddable under an ``optim.`` prefix)
+so mid-training checkpoints can capture Adam moments / SGD velocities and
+a resumed run replays *bit-identical* update steps.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from . import hooks
 from .tensor import Tensor
+
+
+def _restore_buffers(target: List[np.ndarray], state: Dict[str, np.ndarray],
+                     prefix: str) -> None:
+    """Copy ``state[f"{prefix}{i}"]`` into each buffer, validating shapes."""
+    for i, buf in enumerate(target):
+        key = f"{prefix}{i}"
+        if key not in state:
+            raise KeyError(f"missing optimizer buffer {key!r} in state dict")
+        if state[key].shape != buf.shape:
+            raise ValueError(f"shape mismatch for optimizer buffer {key!r}: "
+                             f"{buf.shape} vs {state[key].shape}")
+        np.copyto(buf, state[key])
 
 
 class Optimizer:
@@ -23,6 +42,17 @@ class Optimizer:
     def zero_grad(self) -> None:
         for p in self.params:
             p.grad = None
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Everything needed to resume updates bit-identically.
+
+        Scratch buffers are deliberately excluded: they are fully
+        overwritten before use on every step.
+        """
+        return {"lr": np.array(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(state["lr"])
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -62,6 +92,16 @@ class SGD(Optimizer):
         check = hooks.ALIAS_CHECK
         if check is not None:
             check(self)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, v in enumerate(self._velocity):
+            state[f"velocity.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        _restore_buffers(self._velocity, state, "velocity.")
 
 
 class Adam(Optimizer):
@@ -116,6 +156,20 @@ class Adam(Optimizer):
         check = hooks.ALIAS_CHECK
         if check is not None:
             check(self)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.array(self._t)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        _restore_buffers(self._m, state, "m.")
+        _restore_buffers(self._v, state, "v.")
 
 
 def AdamW(params: Iterable[Tensor], lr: float = 1e-3, betas=(0.9, 0.999),

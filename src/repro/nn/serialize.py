@@ -1,10 +1,16 @@
 """Model checkpointing: state dicts as ``.npz`` archives.
 
-Loading is *defensive*: checkpoints live in a disk cache that can be
-corrupted (truncated writes, partial copies, stale files from older layouts),
-and a bad cache entry must degrade to a cache miss — retrain and rewrite —
-never a crash.  :func:`try_load_state` / :func:`try_load_module` implement
-that contract; the strict :func:`load_state` / :func:`load_module` remain for
+Persistence is delegated to the crash-consistent checkpoint store
+(:mod:`repro.runtime.store`): writes are atomic (tmp file + fsync +
+rename) and carry an embedded content digest; loading is *defensive* —
+a truncated, bit-rotted or stale checkpoint must degrade to a cache miss
+(retrain and rewrite), never a crash and never silent reuse of bad
+weights.  Defective files are **quarantined** next to where they lived
+(``.cache/quarantine/``) with a logged fault event, so a corrupt
+checkpoint is grep-ably never silently retrained over.
+
+:func:`try_load_state` / :func:`try_load_module` implement the miss
+contract; the strict :func:`load_state` / :func:`load_module` remain for
 callers that want the exception.
 """
 
@@ -28,20 +34,22 @@ CHECKPOINT_ERRORS = (zipfile.BadZipFile, OSError, EOFError, KeyError,
                      ValueError, pickle.UnpicklingError)
 
 
+def _store():
+    # Imported lazily: repro.nn and repro.runtime import each other's
+    # submodules, and resolving the store at call time keeps package
+    # initialization order-independent.
+    from ..runtime import store
+    return store
+
+
 def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
-    """Write a state dict atomically (write temp file, then rename)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    tmp = path + ".tmp"
-    # npz keys cannot contain '/' safely on all loaders; dots are fine.
-    np.savez(tmp, **state)
-    # numpy appends .npz to the temp name.
-    os.replace(tmp + ".npz" if not tmp.endswith(".npz") else tmp, path)
+    """Write a state dict atomically with an embedded content digest."""
+    _store().save_state(path, state)
 
 
 def load_state(path: str) -> Dict[str, np.ndarray]:
-    with np.load(path) as archive:
-        return {key: archive[key] for key in archive.files}
+    """Strict load: raises on unreadable archives and digest mismatches."""
+    return _store().load_state(path)
 
 
 def save_module(path: str, module) -> None:
@@ -52,28 +60,14 @@ def load_module(path: str, module) -> None:
     module.load_state_dict(load_state(path))
 
 
-def _discard_corrupt(path: str, error: Exception) -> None:
-    logger.warning("checkpoint %s is unreadable (%s: %s); treating as a "
-                   "cache miss", path, type(error).__name__, error)
-    try:
-        os.remove(path)
-    except OSError:
-        pass
-
-
 def try_load_state(path: str) -> Optional[Dict[str, np.ndarray]]:
-    """Load a state dict, or ``None`` if the file is missing or unreadable.
+    """Load a state dict, or ``None`` if the file is missing or defective.
 
-    A corrupt file is logged, deleted (best effort) so the caller's retrain
-    can atomically rewrite it, and reported as a miss.
+    A corrupt file is quarantined (with a logged fault event) so the
+    caller's retrain can atomically rewrite ``path``, and is reported as
+    a miss.
     """
-    if not os.path.exists(path):
-        return None
-    try:
-        return load_state(path)
-    except CHECKPOINT_ERRORS as error:
-        _discard_corrupt(path, error)
-        return None
+    return _store().try_load_state(path)
 
 
 def try_load_module(path: str, module) -> bool:
@@ -98,7 +92,7 @@ def try_load_module(path: str, module) -> bool:
                     f"{param.data.shape} vs {state[name].shape}")
         module.load_state_dict(state)
     except CHECKPOINT_ERRORS as error:
-        _discard_corrupt(path, error)
+        _store().quarantine(path, "stale", f"{type(error).__name__}: {error}")
         return False
     return True
 

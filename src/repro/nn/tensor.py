@@ -80,7 +80,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor that records operations for backpropagation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name")
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
@@ -89,6 +90,9 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        # Dotted parameter path (stamped by Module.named_parameters) so
+        # sanitizer reports can say *which weight* went non-finite.
+        self.name: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -508,3 +512,35 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 def no_grad_tensor(data: ArrayLike) -> Tensor:
     """Convenience constructor for constants."""
     return Tensor(data, requires_grad=False)
+
+
+# ---------------------------------------------------------------------------
+# RNG stream capture — for crash-consistent training checkpoints.
+# ---------------------------------------------------------------------------
+
+def capture_rng(rng: np.random.Generator) -> str:
+    """Serialize a Generator's bit-stream position as a JSON string.
+
+    PCG64 state words are 128-bit integers, so the state rides in JSON
+    (arbitrary-precision ints) rather than a fixed-width array — the
+    string embeds in an ``.npz`` as a 0-d unicode entry, no pickle needed.
+    """
+    import json
+    return json.dumps(rng.bit_generator.state)
+
+
+def restore_rng(rng: np.random.Generator, captured: str) -> None:
+    """Restore a Generator to a state captured by :func:`capture_rng`.
+
+    Raises ``ValueError`` if the captured state belongs to a different
+    bit-generator type — a checkpoint from an incompatible layout must
+    read as corrupt, not silently reseed.
+    """
+    import json
+    state = json.loads(captured)
+    expected = type(rng.bit_generator).__name__
+    if state.get("bit_generator") != expected:
+        raise ValueError(
+            f"captured RNG state is for {state.get('bit_generator')!r}, "
+            f"generator uses {expected!r}")
+    rng.bit_generator.state = state

@@ -9,8 +9,11 @@ Two artifact classes, mirroring what the experiments actually produce:
 Every entry is keyed by a SHA-256 fingerprint of its configuration dict —
 attack name, eval-set sizes, seeds, and (crucially) the *weights fingerprint*
 of any model the result depends on — so re-running a table recomputes only
-the cells whose inputs changed.  Corrupt entries degrade to misses, exactly
-like the model zoo.
+the cells whose inputs changed.  Entries are written through the
+crash-consistent checkpoint store (:mod:`repro.runtime.store`): atomic
+fsync'd rename with an embedded content digest, and corrupt/torn entries
+are quarantined to ``cells/quarantine/`` with a logged fault event before
+degrading to a miss — exactly like the model zoo.
 
 Layout: ``$REPRO_CACHE_DIR/cells/<name>-<fingerprint>.{npz,json}`` next to
 the model zoo's checkpoints.  Disable with ``REPRO_RESULT_CACHE=0``.  The
@@ -29,8 +32,7 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
-from ..nn.serialize import CHECKPOINT_ERRORS
-from . import codecs, env
+from . import codecs, env, store
 
 logger = logging.getLogger(__name__)
 
@@ -99,13 +101,8 @@ class ResultCache:
         if not self.enabled:
             return None
         path = self.path(name, config, "npz")
-        if not os.path.exists(path):
-            return None
-        try:
-            with np.load(path) as archive:
-                arrays = {key: archive[key] for key in archive.files}
-        except CHECKPOINT_ERRORS as error:
-            self._discard(path, error)
+        arrays = store.try_load_state(path)
+        if arrays is None:
             return None
         self._touch(path)
         return arrays
@@ -114,11 +111,7 @@ class ResultCache:
                     arrays: Dict[str, np.ndarray]) -> None:
         if not self.enabled:
             return
-        path = self.path(name, config, "npz")
-        os.makedirs(self.root, exist_ok=True)
-        tmp = path + ".tmp"
-        np.savez(tmp, **arrays)
-        os.replace(tmp + ".npz", path)
+        store.save_state(self.path(name, config, "npz"), arrays)
 
     def memo_array(self, name: str, config: Dict[str, Any],
                    compute: Callable[[], np.ndarray]) -> np.ndarray:
@@ -135,14 +128,16 @@ class ResultCache:
         if not self.enabled:
             return None
         path = self.path(name, config, "json")
-        if not os.path.exists(path):
+        payload = store.try_load_json(path)
+        if payload is None:
             return None
         try:
-            with open(path) as handle:
-                value = codecs.from_jsonable(json.load(handle))
-        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
-                ValueError, OSError) as error:
-            self._discard(path, error)
+            value = codecs.from_jsonable(payload)
+        except (KeyError, ValueError) as error:
+            # Digest-valid JSON whose codec tag no longer decodes: a stale
+            # layout, quarantined like any other defective artifact.
+            store.quarantine(path, "stale",
+                             f"{type(error).__name__}: {error}")
             return None
         self._touch(path)
         return value
@@ -150,12 +145,8 @@ class ResultCache:
     def save_json(self, name: str, config: Dict[str, Any], value: Any) -> None:
         if not self.enabled:
             return
-        path = self.path(name, config, "json")
-        os.makedirs(self.root, exist_ok=True)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(codecs.to_jsonable(value), handle, indent=1)
-        os.replace(tmp, path)
+        store.save_json(self.path(name, config, "json"),
+                        codecs.to_jsonable(value))
 
     def memo_json(self, name: str, config: Dict[str, Any],
                   compute: Callable[[], Any]) -> Any:
@@ -186,7 +177,7 @@ class ResultCache:
         try:
             with os.scandir(self.root) as scan:
                 for entry in scan:
-                    if not entry.is_file() or entry.name.endswith(".tmp"):
+                    if not entry.is_file() or ".tmp" in entry.name:
                         continue
                     stat = entry.stat()
                     recency = max(stat.st_atime, stat.st_mtime)
@@ -220,16 +211,6 @@ class ResultCache:
             os.utime(path)
         except OSError:  # pragma: no cover - racing eviction
             pass
-
-    @staticmethod
-    def _discard(path: str, error: Exception) -> None:
-        logger.warning("cached result %s is unreadable (%s: %s); treating "
-                       "as a miss", path, type(error).__name__, error)
-        try:
-            os.remove(path)
-        except OSError:
-            pass
-
 
 def default_cache() -> ResultCache:
     """A fresh cache view honouring the current environment variables."""

@@ -146,13 +146,24 @@ MAX_RETRIES = declare(
 
 FAULT_PLAN = declare(
     "REPRO_FAULT_PLAN", "str", default=None,
-    doc="Deliberate worker/training faults for chaos testing, e.g. "
-        "`crash@2,hang@5,raise@zoo.detector`.")
+    doc="Deliberate worker/training/disk faults for chaos testing, e.g. "
+        "`crash@2,raise@zoo.detector,torn-write@store` (disk kinds: "
+        "`torn-write`, `enospc`, `bitrot` against the checkpoint store).")
 
 SANITIZE = declare(
     "REPRO_SANITIZE", "str", default=None,
     doc="Comma-separated runtime sanitizers: `nan`, `alias`, `grad`, "
         "`determinism` (see `repro.analysis.sanitize`).")
+
+CKPT_EVERY = declare(
+    "REPRO_CKPT_EVERY", "int", default=1,
+    doc="Epoch interval for mid-training snapshots in the zoo's training "
+        "paths; `0` disables mid-training checkpointing.")
+
+RUN_ID = declare(
+    "REPRO_RUN_ID", "str", default=None,
+    doc="Attach journal events to this run id under `.cache/runs/` "
+        "(set automatically by `python -m repro.cli run`).")
 
 
 # ---------------------------------------------------------------------------

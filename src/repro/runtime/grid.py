@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 import numpy as np
 
 from ..nn import hooks
-from . import instrument
+from . import instrument, journal
 from .cache import ResultCache, default_cache
 from .parallel import parallel_map
 
@@ -114,7 +114,18 @@ class GridRunner:
         crashed mid-grid resumes from the completed cells on the next
         invocation — and, cells being deterministic, the resumed grid is
         bit-identical to an uninterrupted one.
+
+        Under an active run journal every cell's fate is appended as it is
+        decided: ``cached`` (cache hit / journal replay), ``done`` (freshly
+        computed), ``lost`` (the journal says it finished once, but its
+        cache entry is gone — recomputed loudly, never silently).
         """
+        log = journal.get_journal()
+        replayed = (log.completed_cells(self.name) if log is not None
+                    else set())
+        if log is not None:
+            log.append({"event": "grid-start", "grid": self.name,
+                        "cells": len(self._cells)})
         results: Dict[Hashable, Any] = {}
         pending: List[_Cell] = []
         for cell in self._cells:
@@ -124,21 +135,41 @@ class GridRunner:
                 self.instrumentation.record_cell(instrument.CellRecord(
                     grid=self.name, cell=cell.label, seconds=0.0,
                     forward_passes=0, backward_passes=0, cached=True))
+                if log is not None:
+                    log.append({"event": "cell", "grid": self.name,
+                                "cell": cell.label, "status": "cached"})
             else:
+                if log is not None and cell.label in replayed:
+                    log.append({"event": "cell", "grid": self.name,
+                                "cell": cell.label, "status": "lost"})
                 pending.append(cell)
 
         if pending:
             def checkpoint(index: int, outcome) -> None:
                 self._store(pending[index], outcome[0])
+                if log is not None:
+                    log.append({"event": "cell", "grid": self.name,
+                                "cell": pending[index].label,
+                                "status": "done"})
+
+            def cell_fault(index: int, attempt: int, reason: str) -> None:
+                if log is not None:
+                    log.append({"event": "cell-fault", "grid": self.name,
+                                "cell": pending[index].label,
+                                "attempt": attempt, "reason": reason})
 
             outcomes = parallel_map(_execute_cell, pending,
                                     workers=self.workers,
-                                    on_result=checkpoint)
+                                    on_result=checkpoint,
+                                    on_fault=cell_fault)
             for cell, (result, record) in zip(pending, outcomes):
                 record.grid = self.name
                 results[cell.key] = result
                 self.instrumentation.record_cell(record)
         self.cache.sweep()
+        if log is not None:
+            log.append({"event": "grid-end", "grid": self.name,
+                        "cells": len(self._cells)})
         return results
 
 

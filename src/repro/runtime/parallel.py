@@ -124,13 +124,17 @@ class WorkerError(RuntimeError):
 
 
 OnResult = Callable[[int, Result], None]
+#: fired in the parent whenever an attempt is lost (raise/crash/hang):
+#: ``on_fault(index, attempt, reason)`` — the run journal's hook.
+OnFault = Callable[[int, int, str], None]
 
 
 def parallel_map(fn: Callable[[Item], Result], items: Sequence[Item],
                  workers: Optional[int] = None,
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
-                 on_result: Optional[OnResult] = None) -> List[Result]:
+                 on_result: Optional[OnResult] = None,
+                 on_fault: Optional[OnFault] = None) -> List[Result]:
     """``[fn(item) for item in items]``, fanned across forked processes.
 
     Results are returned in input order.  A cell that raises, whose worker
@@ -138,7 +142,9 @@ def parallel_map(fn: Callable[[Item], Result], items: Sequence[Item],
     is retried up to ``retries`` times; once the budget is exhausted the
     parent raises :class:`WorkerError` carrying the remote traceback (or a
     synthesized one for crashes/hangs).  ``on_result(index, result)`` runs
-    in the parent as each item completes — the checkpoint hook.
+    in the parent as each item completes — the checkpoint hook;
+    ``on_fault(index, attempt, reason)`` runs in the parent as each lost
+    attempt is detected — the journal hook.
     """
     from ..faults.runtime import RuntimeFaultPlan
 
@@ -147,13 +153,14 @@ def parallel_map(fn: Callable[[Item], Result], items: Sequence[Item],
     budget = max_retries(retries)
     plan = RuntimeFaultPlan.from_env()
     if n_workers <= 1 or not fork_available():
-        return _serial_map(fn, items, budget, plan, on_result)
+        return _serial_map(fn, items, budget, plan, on_result, on_fault)
     return _forked_map(fn, items, n_workers, cell_timeout(timeout), budget,
-                       plan, on_result)
+                       plan, on_result, on_fault)
 
 
 def _serial_map(fn, items, budget: int, plan: "RuntimeFaultPlan",
-                on_result: Optional[OnResult]) -> List:
+                on_result: Optional[OnResult],
+                on_fault: Optional[OnFault] = None) -> List:
     """In-process fallback; retries raised faults, re-raising the last one."""
     results = []
     for index, item in enumerate(items):
@@ -168,7 +175,10 @@ def _serial_map(fn, items, budget: int, plan: "RuntimeFaultPlan",
                     plan.maybe_inject(index, attempt)
                 result = fn(item)
                 break
-            except Exception:
+            except Exception as error:
+                if on_fault is not None:
+                    on_fault(index, attempt,
+                             f"raised: {type(error).__name__}: {error}")
                 if attempt >= budget:
                     raise
                 logger.warning("item %d failed on attempt %d; retrying",
@@ -238,7 +248,8 @@ class _Worker:
 
 def _forked_map(fn, items, n_workers: int, timeout: Optional[float],
                 budget: int, plan: "RuntimeFaultPlan",
-                on_result: Optional[OnResult]) -> List:
+                on_result: Optional[OnResult],
+                on_fault: Optional[OnFault] = None) -> List:
     ctx = mp.get_context("fork")
     pending: Deque[Tuple[int, int]] = deque(
         (index, 0) for index in range(len(items)))
@@ -256,6 +267,9 @@ def _forked_map(fn, items, n_workers: int, timeout: Optional[float],
         nonlocal failure
         if index not in unfinished:
             return  # completed just before we decided it was lost
+        if on_fault is not None:
+            # First line only: tracebacks do not belong in journal events.
+            on_fault(index, attempt, reason.splitlines()[0])
         if attempt < budget:
             logger.warning("cell %d %s on attempt %d; retrying", index,
                            reason, attempt)

@@ -42,7 +42,7 @@ def test_get_parses_typed_values(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1.5")
     monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
     assert env.WORKERS.get() == 4
-    assert env.CACHE_MAX_MB.get() == 1.5
+    assert env.CACHE_MAX_MB.get() == 1.5  # repro: noqa[R005] -- float('1.5') parses to an exactly representable double
     assert env.RESULT_CACHE.get() is False
     monkeypatch.setenv("REPRO_RESULT_CACHE", "1")
     assert env.RESULT_CACHE.get() is True

@@ -178,7 +178,9 @@ def test_justified_noqa_visible_with_report_suppressed():
 
 
 def test_bare_noqa_missing_justification_is_r000():
-    source = "def f(x):\n    return x == 0.5  # repro: noqa[R005]\n"
+    # implicit concatenation keeps the fixture text intact while hiding
+    # the bare noqa from the file-level suppression scan of *this* file
+    source = "def f(x):\n    return x == 0.5  # repro: " "noqa[R005]\n"
     findings = lint_source(source, "src/repro/nn/x.py")
     assert rules_of(findings) == ["R000", "R005"]
 

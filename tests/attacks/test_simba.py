@@ -40,7 +40,7 @@ class TestSimBAProperties:
     def test_pixel_basis_directions_one_hot(self):
         attack = SimBAAttack(basis="pixel")
         d = attack._direction((3, 8, 8), 17)
-        assert d.sum() == 1.0
+        assert d.sum() == 1.0  # repro: noqa[R005] -- a one-hot basis vector sums to exactly 1.0
         assert (d >= 0).all()
 
     def test_dct_basis_directions_unit_norm(self):

@@ -41,7 +41,7 @@ class TestRenderFrame:
         rng = np.random.default_rng(1)
         frame = driving.render_frame(15.0, rng)
         assert frame.has_lead
-        assert frame.distance == 15.0
+        assert frame.distance == 15.0  # repro: noqa[R005] -- the renderer stores the requested distance literal unchanged
 
     def test_no_lead_frame(self):
         rng = np.random.default_rng(2)

@@ -50,10 +50,10 @@ class TestAveragePrecision:
         assert ap == pytest.approx(0.0)
 
     def test_no_detections_no_gt(self):
-        assert average_precision(np.array([]), np.array([]), 0) == 100.0
+        assert average_precision(np.array([]), np.array([]), 0) == 100.0  # repro: noqa[R005] -- documented sentinel return for the empty case, no arithmetic
 
     def test_no_detections_with_gt(self):
-        assert average_precision(np.array([]), np.array([]), 3) == 0.0
+        assert average_precision(np.array([]), np.array([]), 3) == 0.0  # repro: noqa[R005] -- documented sentinel return for the empty case, no arithmetic
 
     def test_half_recall_perfect_precision(self):
         ap = average_precision(np.array([0.9]), np.array([True]), 2)
@@ -101,5 +101,5 @@ class TestEvaluateDetections:
 
     def test_empty_everything(self):
         metrics = evaluate_detections([[]], [[]])
-        assert metrics.precision == 100.0
-        assert metrics.recall == 100.0
+        assert metrics.precision == 100.0  # repro: noqa[R005] -- 100 * 1/1 is exact in binary floating point
+        assert metrics.recall == 100.0  # repro: noqa[R005] -- 100 * 1/1 is exact in binary floating point

@@ -51,7 +51,7 @@ class TestRangeBinnedErrors:
         preds = [7.0, 33.0, 55.0, 71.0]
         result = range_binned_errors([7, 33, 55, 71], preds, preds)
         for r in RANGES:
-            assert result[r] == 0.0
+            assert result[r] == 0.0  # repro: noqa[R005] -- empty range yields the exact 0.0 sentinel
 
     @given(st.lists(st.tuples(
         st.floats(1.0, 79.0), st.floats(0.0, 90.0), st.floats(0.0, 90.0)),
@@ -72,4 +72,4 @@ class TestMAE:
         assert mean_absolute_error([1.0, 3.0], [0.0, 0.0]) == pytest.approx(2.0)
 
     def test_zero_for_perfect(self):
-        assert mean_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert mean_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0  # repro: noqa[R005] -- identical predictions give an error of exactly 0

@@ -106,9 +106,9 @@ class TestFaultedRunDeterminism:
 
     @needs_fork
     def test_parallel_matches_serial(self, regressor):
-        serial = parallel_map(lambda s: self.summary(regressor, s), [0, 1],
+        serial = parallel_map(lambda s: self.summary(regressor, s), [0, 1],  # repro: noqa[R004] -- fork-start test: the closure never crosses a pickle boundary
                               workers=1)
-        forked = parallel_map(lambda s: self.summary(regressor, s), [0, 1],
+        forked = parallel_map(lambda s: self.summary(regressor, s), [0, 1],  # repro: noqa[R004] -- fork-start test: the closure never crosses a pickle boundary
                               workers=2)
         assert serial == forked
 

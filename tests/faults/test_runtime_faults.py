@@ -104,9 +104,9 @@ class TestForkedRecovery:
         def cell(seed):
             return np.random.default_rng(seed).normal(size=8)
 
-        clean = parallel_map(cell, range(4), workers=2)
+        clean = parallel_map(cell, range(4), workers=2)  # repro: noqa[R004] -- fork-start test: the closure never crosses a pickle boundary
         monkeypatch.setenv(FAULT_PLAN_ENV, "crash@2,raise@0")
-        faulted = parallel_map(cell, range(4), workers=2)
+        faulted = parallel_map(cell, range(4), workers=2)  # repro: noqa[R004] -- fork-start test: the closure never crosses a pickle boundary
         for a, b in zip(clean, faulted):
             np.testing.assert_array_equal(a, b)
 

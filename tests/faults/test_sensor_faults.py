@@ -37,7 +37,7 @@ class TestFaultModels:
     def test_occlusion_covers_requested_fraction(self):
         out = PartialOcclusion(fraction=0.5, value=0.0).apply(
             frame(1.0, size=16), None, rng())
-        occluded = (out == 0.0).sum()
+        occluded = (out == 0.0).sum()  # repro: noqa[R005] -- occlusion writes exact zeros; this counts them
         assert occluded == 3 * 8 * 8  # 0.5^2 of each channel
 
     def test_exposure_scales_and_clips(self):
@@ -150,12 +150,12 @@ class TestSpecParsing:
         assert isinstance(drop, FrameDrop)
         assert (drop.start_s, drop.end_s) == (4.0, 6.0)
         assert isinstance(noise, NoiseBurst)
-        assert noise.sigma == 0.4 and noise.probability == 0.5
+        assert noise.sigma == 0.4 and noise.probability == 0.5  # repro: noqa[R005] -- spec fields are parsed float literals stored unchanged
         assert injector.seed == 3
 
     def test_open_ended_window(self):
         fault, = from_spec("exposure@10-:gain=0.1").faults
-        assert fault.start_s == 10.0 and fault.end_s == float("inf")
+        assert fault.start_s == 10.0 and fault.end_s == float("inf")  # repro: noqa[R005] -- start/end are a parsed literal and an inf sentinel, no arithmetic
 
     def test_mode_stays_a_string(self):
         fault, = from_spec("nan_frames@0-1:mode=inf").faults

@@ -13,14 +13,14 @@ class TestBoxIoU:
         assert box_iou((0, 0, 10, 10), (0, 0, 10, 10)) == pytest.approx(1.0)
 
     def test_disjoint_boxes(self):
-        assert box_iou((0, 0, 5, 5), (10, 10, 20, 20)) == 0.0
+        assert box_iou((0, 0, 5, 5), (10, 10, 20, 20)) == 0.0  # repro: noqa[R005] -- disjoint boxes intersect in exactly 0 area
 
     def test_half_overlap(self):
         iou = box_iou((0, 0, 10, 10), (5, 0, 15, 10))
         assert iou == pytest.approx(50 / 150)
 
     def test_degenerate_box(self):
-        assert box_iou((5, 5, 5, 5), (0, 0, 10, 10)) == 0.0
+        assert box_iou((5, 5, 5, 5), (0, 0, 10, 10)) == 0.0  # repro: noqa[R005] -- a degenerate box has exactly 0 area
 
     def test_symmetry(self):
         a, b = (0, 0, 8, 6), (3, 2, 12, 9)
@@ -34,7 +34,7 @@ class TestNMS:
                 Detection((30, 30, 40, 40), 0.7)]
         kept = nms(dets, iou_threshold=0.45)
         assert len(kept) == 2
-        assert kept[0].score == 0.9
+        assert kept[0].score == 0.9  # repro: noqa[R005] -- NMS copies the kept detection's score unchanged
         assert kept[1].box == (30, 30, 40, 40)
 
     def test_empty_input(self):

@@ -196,4 +196,4 @@ class TestEndToEndTraining:
             loss.backward()
             opt.step()
         accuracy = (model(Tensor(x)).data.argmax(axis=1) == y).mean()
-        assert accuracy == 1.0
+        assert accuracy == 1.0  # repro: noqa[R005] -- accuracy n/n on a fully-fit set is exactly 1.0

@@ -329,7 +329,7 @@ class TestUpsample:
         assert out.shape == (1, 1, 4, 4)
         np.testing.assert_array_equal(out.data[0, 0, :2, :2],
                                       [[0, 0], [0, 0]])
-        assert out.data[0, 0, 2, 2] == 3.0
+        assert out.data[0, 0, 2, 2] == 3.0  # repro: noqa[R005] -- max-pool selects an input element bit-unchanged
 
     def test_upsample_grad_sums_blocks(self):
         x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)

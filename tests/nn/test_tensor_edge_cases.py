@@ -21,20 +21,20 @@ class TestTensorAPI:
     def test_numpy_shares_buffer(self):
         t = Tensor(np.zeros(3))
         t.numpy()[0] = 7.0
-        assert t.data[0] == 7.0
+        assert t.data[0] == 7.0  # repro: noqa[R005] -- asserting an assigned buffer value, no arithmetic
 
     def test_detach_shares_data_but_no_grad(self):
         t = Tensor(np.ones(2), requires_grad=True)
         d = t.detach()
         assert not d.requires_grad
         d.data[0] = 5.0
-        assert t.data[0] == 5.0  # shared buffer by design
+        assert t.data[0] == 5.0  # shared buffer by design  # repro: noqa[R005] -- asserting an assigned buffer value, no arithmetic
 
     def test_clone_copies_data_and_keeps_graph(self):
         t = Tensor(np.ones(2), requires_grad=True)
         c = t.clone()
         c.data[0] = 9.0
-        assert t.data[0] == 1.0
+        assert t.data[0] == 1.0  # repro: noqa[R005] -- asserting an assigned buffer value, no arithmetic
         c.sum().backward()
         assert t.grad is not None
 

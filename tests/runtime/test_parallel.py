@@ -73,7 +73,7 @@ class TestSerialPath:
         def boom(_):
             raise ValueError("inner")
         with pytest.raises(ValueError, match="inner"):
-            parallel_map(boom, [1], workers=1)
+            parallel_map(boom, [1], workers=1)  # repro: noqa[R004] -- serial path (workers=1) never pickles the callable
 
 
 @needs_fork
@@ -95,13 +95,13 @@ class TestForkedPath:
                 raise RuntimeError("cell exploded")
             return x
         with pytest.raises(WorkerError) as excinfo:
-            parallel_map(boom, range(4), workers=2)
+            parallel_map(boom, range(4), workers=2)  # repro: noqa[R004] -- fork-start test: the closure never crosses a pickle boundary
         assert excinfo.value.index == 2
         assert "cell exploded" in excinfo.value.remote_traceback
 
     def test_large_results_cross_the_queue(self):
         # Bigger than a pipe buffer, to exercise the queue feeder thread.
-        arrays = parallel_map(lambda i: np.full((256, 256), i, np.float32),
+        arrays = parallel_map(lambda i: np.full((256, 256), i, np.float32),  # repro: noqa[R004] -- fork-start test: the closure never crosses a pickle boundary
                               range(4), workers=2)
         for i, array in enumerate(arrays):
             assert array.shape == (256, 256)

@@ -40,7 +40,7 @@ def _grid(detector, scenes, cache, inst):
     grid = GridRunner("smoke", workers=1, cache=cache, instrumentation=inst)
     for eps in (0.0, 0.05):
         def cell(eps=eps):
-            if eps == 0.0:
+            if eps == 0.0:  # repro: noqa[R005] -- eps is a parametrized literal passed straight through, not a computed float
                 return evaluate_detection(detector, scenes)
             attack = FGSMAttack(eps=eps)
             return evaluate_detection(detector, scenes, attack=attack)

@@ -4,6 +4,7 @@
 #   tools/ci.sh          # smoke tier, then the fault-robustness tier
 #   tools/ci.sh full     # ... then the full test suite
 #   tools/ci.sh analyze  # static lint + analysis tier + sanitized smoke run
+#   tools/ci.sh resume   # kill a journaled run mid-grid, resume, diff tables
 #
 # Tier 1 (smoke): fast confidence check — see tools/smoke.sh.
 # Tier 2 (faults): the fault-injection robustness suite (pytest -m faults):
@@ -12,25 +13,41 @@
 #   serial/parallel/cached determinism guarantees under active fault plans.
 # Tier 3 (full, opt-in): everything.
 # Analyze tier (opt-in): the repro.analysis toolchain — AST lint over
-#   src/repro, the env-var table drift check, the analysis test suite
+#   src/repro, tests and benchmarks (intentionally-broken lint fixtures
+#   excluded), the env-var table drift check, the determinism audit with
+#   one real Table II cell per defense family, the analysis test suite
 #   (lint rules, gradcheck, determinism audit, sanitizers), and the smoke
 #   tier re-run under live REPRO_SANITIZE=nan,alias hooks.
+# Resume tier (opt-in): crash-consistency end to end — tools/resume_smoke.py
+#   kills a journaled table3 run mid-grid under a fault plan, resumes it via
+#   `repro.cli run --resume`, and asserts the resumed table is bit-identical
+#   to an uninterrupted run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 
 if [[ "${1:-}" == "analyze" ]]; then
     echo "== CI analyze: static lint =="
-    python -m repro.cli analyze lint src/repro
+    python -m repro.cli analyze lint --exclude tests/analysis/fixtures \
+        src/repro tests benchmarks
 
     echo "== CI analyze: env-var table drift =="
     python -m repro.cli analyze envdoc --check README.md
+
+    echo "== CI analyze: determinism audit (grid slice) =="
+    python -m repro.cli analyze audit --grid-slice
 
     echo "== CI analyze: analysis suite =="
     python -m pytest -m analysis -q
 
     echo "== CI analyze: smoke under sanitizers =="
     REPRO_SANITIZE=nan,alias python -m pytest -m smoke -q
+    exit 0
+fi
+
+if [[ "${1:-}" == "resume" ]]; then
+    echo "== CI resume: kill / resume / diff =="
+    python tools/resume_smoke.py
     exit 0
 fi
 
