@@ -8,7 +8,8 @@ that promise silently breaks:
   any legacy ``np.random.<fn>`` global-state call makes results depend on
   interpreter state, which poisons content-addressed cache keys.
 * **R002 — no wall-clock / iteration-order nondeterminism** in
-  result-producing code (experiments, runtime, eval, faults, data):
+  result-producing code (experiments, runtime, eval, faults, data,
+  serving):
   ``time.time`` / ``datetime.now`` / ``os.urandom`` / ``uuid.uuid4`` and
   iteration over ``set`` values vary across runs.  (``time.perf_counter``
   is fine — durations are telemetry, not results.)
@@ -179,12 +180,12 @@ class WallClockRule(Rule):
     id = "R002"
     title = "no wall-clock / set-iteration nondeterminism"
     invariant = ("Result-producing code (experiments, runtime, eval, faults, "
-                 "data) depends only on declared inputs — never on wall-clock "
-                 "time, OS entropy, or unordered set iteration.")
+                 "data, serving) depends only on declared inputs — never on "
+                 "wall-clock time, OS entropy, or unordered set iteration.")
 
     def applies_to(self, path):
         return _in_package_dir(path, "experiments", "runtime", "eval",
-                               "faults", "data")
+                               "faults", "data", "serving")
 
     def check(self, tree, source, path):
         for node in ast.walk(tree):

@@ -14,6 +14,8 @@
                                          # repro.analysis.cli for verbs)
     python -m repro run table3           # journaled run (gets a run id)
     python -m repro run table3 --resume run-0001   # replay completed cells
+    python -m repro serve --ticks 200    # journaled chaos serve run
+                                         # (honors REPRO_FAULT_PLAN)
 
 Results print to stdout and are also written under ``--out`` (default
 ``results/``).  Every run also writes ``BENCH_runtime.json`` (per-cell
@@ -86,6 +88,14 @@ def _run_fault_matrix(args) -> str:
     return experiments.fault_matrix.render(experiments.fault_matrix.run())
 
 
+def _run_serve_bench(args) -> str:
+    results = experiments.serve_bench.run(workers=args.workers)
+    path = experiments.serve_bench.export_bench(
+        os.path.join(args.out, "BENCH_serving.json"), results)
+    return (experiments.serve_bench.render(results)
+            + f"\n\nserving benchmark written to {path}")
+
+
 def _run_fig1(args) -> str:
     paths = viz.save_dataset_examples(args.out)
     return "Fig. 1 examples written:\n" + "\n".join(f"  {p}" for p in paths)
@@ -101,6 +111,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "overhead": _run_overhead,
     "ablations": _run_ablations,
     "fault_matrix": _run_fault_matrix,
+    "serve_bench": _run_serve_bench,
     "fig1": _run_fig1,
 }
 
@@ -157,11 +168,16 @@ def _journaled_main(argv) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if resume:
+        from .runtime import manifest
+
         counts = log.summary()
         done = counts.get("cell", 0)
         faults = counts.get("store-fault", 0) + counts.get("cell-fault", 0)
         print(f"resuming {log.run_id}: journal has {done} cell event(s), "
               f"{faults} fault event(s) — completed work replays from cache")
+        fan = manifest.describe(log.directory)
+        if fan:
+            print(fan)
     else:
         print(f"run id: {log.run_id} (journal: {log.path})")
     log.append({"event": "run-start", "argv": list(rest),
@@ -169,6 +185,94 @@ def _journaled_main(argv) -> int:
     code = 1
     try:
         code = main(rest)
+    finally:
+        log.append({"event": "run-end", "exit_code": code})
+        print(f"run {log.run_id} journal: {log.path}")
+    return code
+
+
+def _serve_main(argv) -> int:
+    """``serve`` subcommand: one journaled serve run over synthetic traffic.
+
+    Honors the ambient ``REPRO_FAULT_PLAN`` (scopes ``serve.replica``,
+    ``serve.replica.<slot>``, ``serve.scorer``), so chaos drills are one
+    environment variable away::
+
+        REPRO_FAULT_PLAN="crash@serve.replica.0:attempt=0+" \\
+            python -m repro.cli serve --ticks 200
+    """
+    import json as json_module
+
+    import numpy as np
+
+    from .eval.harness import make_balanced_eval_frames
+    from .models.zoo import get_regressor
+    from .pipeline.perception import PerceptionService
+    from .runtime import journal
+    from .serving import (AdmissionScorer, BrokerConfig, PerceptionServer,
+                          ServeConfig, TrafficTrace, run_serve)
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve synthetic open-loop traffic through the "
+                    "fault-tolerant perception serving stack")
+    parser.add_argument("--ticks", type=int, default=200,
+                        help="traffic trace length")
+    parser.add_argument("--replicas", type=int, default=None,
+                        help=f"replica count (default: "
+                             f"${env.SERVE_REPLICAS.name})")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help=f"per-request deadline (default: "
+                             f"${env.SERVE_DEADLINE_MS.name})")
+    parser.add_argument("--burst", type=float, default=1.0,
+                        help="arrival-rate multiplier over 20 Hz "
+                             "(>1 = overload)")
+    parser.add_argument("--no-router", action="store_true",
+                        help="disable the defense router (fast path only)")
+    parser.add_argument("--serial", action="store_true",
+                        help="in-process replicas (no forked workers)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="traffic trace seed")
+    parser.add_argument("--out", default="results",
+                        help="directory for the serve report JSON")
+    args = parser.parse_args(argv)
+
+    log = journal.start_run()
+    print(f"run id: {log.run_id} (journal: {log.path})")
+    log.append({"event": "run-start", "argv": ["serve"] + list(argv),
+                "resumed": False})
+    code = 1
+    try:
+        model = get_regressor()
+        images, distances, _ = make_balanced_eval_frames(n_per_range=8,
+                                                         seed=args.seed)
+        trace = TrafficTrace.from_clean(images, distances,
+                                        n_ticks=args.ticks, seed=args.seed)
+        if args.burst != 1.0:
+            trace = trace.burst(args.burst)
+        scorer = AdmissionScorer()
+        scorer.calibrate(images)
+        config = ServeConfig(
+            broker=BrokerConfig(deadline_ms=args.deadline_ms),
+            router_enabled=not args.no_router, n_replicas=args.replicas,
+            forked=False if args.serial else None)
+        report = run_serve(trace, PerceptionServer(PerceptionService(model)),
+                           config, scorer=scorer)
+        summary = report.summary()
+        plan = env.FAULT_PLAN.get() or "(none)"
+        print(f"fault plan: {plan}")
+        for key in ("ticks", "answered", "coasted", "shed", "unserved",
+                    "availability", "latency_p50_ms", "latency_p99_ms",
+                    "retries", "hedges", "breaker_trips", "respawns",
+                    "routed_defended", "scorer_faults", "max_level"):
+            print(f"  {key}: {summary[key]}")
+        print(f"fingerprint: {report.fingerprint()}")
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "serve_report.json")
+        with open(path, "w") as handle:
+            json_module.dump(report.to_json(), handle, indent=1)
+        print(f"serve report written to {path}")
+        code = 0 if summary["unserved"] == 0 else 1
     finally:
         log.append({"event": "run-end", "exit_code": code})
         print(f"run {log.run_id} journal: {log.path}")
@@ -185,6 +289,8 @@ def main(argv=None) -> int:
         return analyze_main(list(argv[1:]))
     if argv and argv[0] == "run":
         return _journaled_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return _serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     # Honor REPRO_SANITIZE for experiment runs launched through the CLI.
     from .analysis.sanitize import install_from_env

@@ -7,8 +7,8 @@ the paper's layout.  The ``benchmarks/`` directory wraps these runners in
 pytest-benchmark targets; EXPERIMENTS.md records their output.
 """
 
-from . import (ablations, fault_matrix, fig2, overhead, table1, table2,
-               table3, table4, table5)
+from . import (ablations, fault_matrix, fig2, overhead, serve_bench, table1,
+               table2, table3, table4, table5)
 
 __all__ = ["table1", "fig2", "table2", "table3", "table4", "table5",
-           "overhead", "ablations", "fault_matrix"]
+           "overhead", "ablations", "fault_matrix", "serve_bench"]

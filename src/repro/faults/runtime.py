@@ -30,6 +30,18 @@ execution of the item and the *retry succeeds* — which is exactly the
 recovery path the runtime hardening promises.  Plans are read from the
 environment at call time, so forked workers inherit them for free.
 
+``attempt`` also accepts *ranges*, so a fault can persist across attempts —
+the serving layer needs a replica that keeps crashing until its circuit
+breaker trips:
+
+    REPRO_FAULT_PLAN="crash@serve.replica.0:attempt=0+"   # every attempt
+    REPRO_FAULT_PLAN="hang@serve.replica.1:attempt=3-7"   # attempts 3..7
+
+The serving subsystem (:mod:`repro.serving`) consults the scopes
+``serve.replica`` (all replicas), ``serve.replica.<slot>`` (one replica
+slot) and ``serve.scorer`` (the defense router's admission scorer), with
+the broker's global request sequence number as the attempt.
+
 **Disk-fault kinds** target the checkpoint store
 (:mod:`repro.runtime.store`) rather than the executor:
 
@@ -80,18 +92,41 @@ class InjectedFault(RuntimeError):
 class RuntimeFault:
     kind: str                   # "raise" | "crash" | "hang"
     index: Union[int, str]      # batch item index, or a named scope
-    attempt: int                # which execution attempt the fault fires on
+    attempt: int                # first execution attempt the fault fires on
+    #: last attempt the fault fires on (inclusive); ``None`` = only
+    #: ``attempt`` itself, ``-1`` = open-ended (``attempt=N+``).
+    attempt_end: Optional[int] = None
+
+    def matches(self, attempt: int) -> bool:
+        if self.attempt_end is None:
+            return attempt == self.attempt
+        if self.attempt_end < 0:
+            return attempt >= self.attempt
+        return self.attempt <= attempt <= self.attempt_end
+
+
+def _parse_attempt(value: str) -> Tuple[int, Optional[int]]:
+    """Parse an ``attempt=`` clause: ``N`` exact, ``N+`` open, ``N-M`` range."""
+    value = value.strip()
+    if value.endswith("+"):
+        return int(value[:-1]), -1
+    lo, sep, hi = value.partition("-")
+    if sep and lo:  # "N-M" (a leading "-" is a plain negative int)
+        return int(lo), int(hi)
+    return int(value), None
 
 
 class RuntimeFaultPlan:
     """Parsed ``REPRO_FAULT_PLAN``; empty plan injects nothing."""
 
     def __init__(self, faults: Tuple[RuntimeFault, ...] = ()):
-        self._by_key: Dict[Tuple[Union[int, str], int], RuntimeFault] = {
-            (fault.index, fault.attempt): fault for fault in faults}
+        self._by_index: Dict[Union[int, str], Tuple[RuntimeFault, ...]] = {}
+        for fault in faults:
+            self._by_index[fault.index] = (
+                self._by_index.get(fault.index, ()) + (fault,))
 
     def __bool__(self) -> bool:
-        return bool(self._by_key)
+        return bool(self._by_index)
 
     @classmethod
     def parse(cls, spec: Optional[str]) -> "RuntimeFaultPlan":
@@ -106,14 +141,15 @@ class RuntimeFaultPlan:
                 raise ValueError(
                     f"unknown runtime fault kind {kind!r} in "
                     f"{FAULT_PLAN_ENV}; known: {_KINDS}")
-            attempt = 0
+            attempt, attempt_end = 0, None
             if tail:
                 key, _, value = tail.partition("=")
                 if key.strip() != "attempt":
                     raise ValueError(
                         f"unknown runtime fault option {key!r} in "
-                        f"{FAULT_PLAN_ENV} (only 'attempt=N')")
-                attempt = int(value)
+                        f"{FAULT_PLAN_ENV} (only 'attempt=N', 'attempt=N+' "
+                        f"or 'attempt=N-M')")
+                attempt, attempt_end = _parse_attempt(value)
             target = index.strip()
             if not target:
                 raise ValueError(
@@ -123,7 +159,8 @@ class RuntimeFaultPlan:
                                          if target.lstrip("-").isdigit()
                                          else target)
             faults.append(RuntimeFault(kind=kind, index=resolved,
-                                       attempt=attempt))
+                                       attempt=attempt,
+                                       attempt_end=attempt_end))
         return cls(tuple(faults))
 
     @classmethod
@@ -132,7 +169,10 @@ class RuntimeFaultPlan:
 
     def lookup(self, index: Union[int, str],
                attempt: int) -> Optional[RuntimeFault]:
-        return self._by_key.get((index, attempt))
+        for fault in self._by_index.get(index, ()):
+            if fault.matches(attempt):
+                return fault
+        return None
 
     def _fire(self, fault: RuntimeFault, label: str, attempt: int) -> None:
         if fault.kind == "raise":

@@ -95,6 +95,8 @@ class EpochCheckpointer:
         for key, value in optimizer.state_dict().items():
             state[f"optim.{key}"] = value
         store.save_state(self.path, state)
+        journal.emit({"event": "train-progress", "label": self.label,
+                      "epoch": epoch, "path": self.path})
 
     def finalize(self) -> None:
         """Drop the snapshot (the final artifact made it to disk)."""

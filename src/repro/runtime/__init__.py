@@ -16,7 +16,7 @@ else are flagged by lint rule R003, and the README's env-var table is
 generated from the registry.
 """
 
-from . import env
+from . import env, manifest
 from .cache import (ResultCache, array_fingerprint, cache_enabled,
                     cache_max_bytes, default_cache, fingerprint)
 from .grid import GridRunner
@@ -26,7 +26,7 @@ from .parallel import (WorkerError, cell_timeout, fork_available, max_retries,
                        parallel_map, stable_seed, worker_count)
 
 __all__ = [
-    "env",
+    "env", "manifest",
     "GridRunner", "ResultCache", "parallel_map", "worker_count",
     "fork_available", "stable_seed", "WorkerError", "cell_timeout",
     "max_retries",

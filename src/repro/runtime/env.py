@@ -165,6 +165,36 @@ RUN_ID = declare(
     doc="Attach journal events to this run id under `.cache/runs/` "
         "(set automatically by `python -m repro.cli run`).")
 
+SERVE_REPLICAS = declare(
+    "REPRO_SERVE_REPLICAS", "int", default=3,
+    doc="Perception replicas in the serving pool "
+        "(`python -m repro.cli serve`).")
+
+SERVE_DEADLINE_MS = declare(
+    "REPRO_SERVE_DEADLINE_MS", "float", default=45.0,
+    doc="Per-request deadline for the serving broker, in virtual "
+        "milliseconds (one 20 Hz frame budget is 50 ms).")
+
+SERVE_RETRIES = declare(
+    "REPRO_SERVE_RETRIES", "int", default=2,
+    doc="Retry budget per serving request (attempts beyond the first).")
+
+SERVE_HEDGE_PCT = declare(
+    "REPRO_SERVE_HEDGE_PCT", "float", default=95.0,
+    doc="Latency percentile past which the broker hedges a request onto a "
+        "second replica; >= 100 disables hedging.")
+
+SERVE_QUEUE_MS = declare(
+    "REPRO_SERVE_QUEUE_MS", "float", default=120.0,
+    doc="Modeled queue-wait bound (virtual ms) before the broker sheds a "
+        "request to the degradation ladder instead of queueing it.")
+
+SERVE_WALL_TIMEOUT = declare(
+    "REPRO_SERVE_WALL_TIMEOUT", "float", default=10.0,
+    doc="Wall-clock seconds before a silent forked replica is declared "
+        "hung, killed and respawned (real-time hang detection only; "
+        "never enters results).")
+
 
 # ---------------------------------------------------------------------------
 # Documentation generator — keeps the README table in sync.

@@ -8,8 +8,10 @@ the checkpoint store append one JSON line per event:
 * ``run-start`` / ``run-end`` — CLI lifecycle,
 * ``grid-start`` / ``cell`` / ``grid-end`` — per-grid progress, with each
   cell's status (``cached`` / ``done`` / ``lost``),
-* ``train-start`` / ``train-resume`` / ``train-done`` — zoo training
-  paths, including the epoch a resumed run continued from,
+* ``train-start`` / ``train-progress`` / ``train-resume`` /
+  ``train-done`` — zoo training paths, including per-snapshot epoch
+  progress (these are also folded into the run's retraining-fan
+  ``manifest.json`` — see :mod:`repro.runtime.manifest`),
 * ``store-fault`` — quarantined / injected storage faults.
 
 ``--resume <id>`` reopens the same journal: completed cells recorded there
@@ -83,6 +85,11 @@ class RunJournal:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        # Fold training events into the run's retraining-fan manifest
+        # (lazy import: manifest -> store -> journal would cycle at init).
+        if str(record.get("event", "")).startswith("train-"):
+            from . import manifest
+            manifest.RunManifest(self.directory).on_event(record)
 
     # -- reading --------------------------------------------------------
     def events(self) -> List[Dict[str, Any]]:
@@ -120,9 +127,28 @@ class RunJournal:
         done: Set[str] = set()
         for event in self.events():
             if (event.get("event") == "cell" and event.get("grid") == grid
-                    and event.get("status") in ("done", "cached")):
+                    and event.get("status") in ("done", "cached",
+                                                "replayed")):
                 done.add(str(event.get("cell")))
         return done
+
+    def artifacts(self, grid: str) -> Dict[str, Dict[str, Any]]:
+        """Latest journaled artifact per completed cell of ``grid``.
+
+        Cell events carry the cache path their result was stored under
+        (``artifact``) plus its codec; a resumed run replays completed
+        cells straight from these records — the journal, not a fresh cache
+        fingerprint pass, decides what is done.
+        """
+        latest: Dict[str, Dict[str, Any]] = {}
+        for event in self.events():
+            if (event.get("event") == "cell" and event.get("grid") == grid
+                    and event.get("status") in ("done", "cached", "replayed")
+                    and event.get("artifact")):
+                latest[str(event.get("cell"))] = {
+                    "artifact": str(event["artifact"]),
+                    "codec": event.get("codec")}
+        return latest
 
     def summary(self) -> Dict[str, int]:
         """Event counts by type — the ``--resume`` banner's raw material."""

@@ -1,0 +1,158 @@
+"""Retraining-fan manifest: which model variants a run still owes.
+
+Table III/IV runs retrain a *fan* of defense variants (one adversarially
+trained model per attack source, contrastive detectors, the diffusion
+prior…).  Each training path already journals ``train-start`` /
+``train-progress`` / ``train-done`` events; this module folds those into a
+single ``manifest.json`` next to the run's journal
+(``.cache/runs/<id>/manifest.json``) so a killed ``all`` run can say in
+one read which variants finished and which remain — and ``cli run
+--resume`` prints exactly that before replaying.
+
+The manifest is a materialized view, not a second source of truth: it is
+rebuilt entry-by-entry from the same events the journal records (the
+bridge lives in :meth:`RunJournal.append`), written atomically through the
+checksummed store, and guarded by an advisory file lock so concurrently
+training forked workers cannot lose each other's updates.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import logging
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+from . import store
+
+logger = logging.getLogger(__name__)
+
+MANIFEST_FILENAME = "manifest.json"
+#: store fault-plan scope for manifest writes (distinct from ``store`` so
+#: injected disk faults aimed at artifacts don't shift attempt counters).
+MANIFEST_SCOPE = "manifest"
+
+#: journal events the manifest is derived from.
+_TRAIN_EVENTS = ("train-start", "train-progress", "train-resume",
+                 "train-done")
+
+
+def _variant_name(event: Dict[str, Any]) -> Optional[str]:
+    """Normalize a train event's variant name.
+
+    Zoo events carry ``model`` (``"regressor"``, ``"table3-adv-FGSM"``);
+    checkpointer events carry the ``zoo.``-prefixed checkpoint label.
+    """
+    name = event.get("model")
+    if name:
+        return str(name)
+    label = event.get("label")
+    if label:
+        return re.sub(r"^zoo\.", "", str(label))
+    return None
+
+
+class RunManifest:
+    """The ``manifest.json`` of one run directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.path = os.path.join(directory, MANIFEST_FILENAME)
+
+    # -- reading --------------------------------------------------------
+    def read(self) -> Dict[str, Any]:
+        """The manifest document (``{"variants": {...}}``); never raises.
+
+        A corrupt manifest is quarantined by the store layer and treated
+        as empty — it is a view and rebuilds as events arrive.
+        """
+        payload = store.try_load_json(self.path)
+        if not isinstance(payload, dict):
+            return {"variants": {}}
+        payload.setdefault("variants", {})
+        return payload
+
+    def variants(self) -> Dict[str, Dict[str, Any]]:
+        return self.read()["variants"]
+
+    def remaining(self) -> List[str]:
+        """Variants that started training but never finished (sorted)."""
+        return sorted(name for name, info in self.variants().items()
+                      if info.get("status") != "done")
+
+    def done(self) -> List[str]:
+        return sorted(name for name, info in self.variants().items()
+                      if info.get("status") == "done")
+
+    # -- writing --------------------------------------------------------
+    def _update(self, mutate: Callable[[Dict[str, Any]], None]) -> None:
+        """Locked read-modify-write so forked trainers never lose entries."""
+        os.makedirs(self.directory, exist_ok=True)
+        try:
+            with open(self.path + ".lock", "w") as lock:
+                fcntl.flock(lock, fcntl.LOCK_EX)
+                document = self.read()
+                mutate(document["variants"])
+                store.save_json(self.path, document, scope=MANIFEST_SCOPE)
+        except OSError as error:
+            # The manifest is advisory; a failed write (including injected
+            # ENOSPC) must never fail the training it describes.
+            logger.warning("manifest update failed (%s): %s", self.path,
+                           error)
+
+    def variant_started(self, name: str, path: Optional[str] = None) -> None:
+        def mutate(variants: Dict[str, Any]) -> None:
+            entry = variants.setdefault(name, {})
+            entry.update({"status": "training", "epoch": 0})
+            if path:
+                entry["path"] = path
+
+        self._update(mutate)
+
+    def variant_progress(self, name: str, epoch: int) -> None:
+        def mutate(variants: Dict[str, Any]) -> None:
+            entry = variants.setdefault(name, {"status": "training"})
+            entry["epoch"] = int(epoch)
+
+        self._update(mutate)
+
+    def variant_done(self, name: str) -> None:
+        def mutate(variants: Dict[str, Any]) -> None:
+            entry = variants.setdefault(name, {})
+            entry["status"] = "done"
+
+        self._update(mutate)
+
+    # -- journal bridge -------------------------------------------------
+    def on_event(self, event: Dict[str, Any]) -> None:
+        """Fold one journal event into the manifest (non-train: no-op)."""
+        kind = event.get("event")
+        if kind not in _TRAIN_EVENTS:
+            return
+        name = _variant_name(event)
+        if not name:
+            return
+        if kind == "train-start":
+            self.variant_started(name, path=event.get("path"))
+        elif kind in ("train-progress", "train-resume"):
+            self.variant_progress(name, int(event.get("epoch", 0)))
+        else:
+            self.variant_done(name)
+
+
+def describe(directory: str) -> Optional[str]:
+    """One-line fan status for the resume banner; ``None`` when empty."""
+    manifest = RunManifest(directory)
+    variants = manifest.variants()
+    if not variants:
+        return None
+    pending = manifest.remaining()
+    line = (f"retraining fan: {len(variants) - len(pending)}/"
+            f"{len(variants)} variant(s) trained")
+    if pending:
+        detail = ", ".join(
+            f"{name} (epoch {variants[name].get('epoch', 0)})"
+            for name in pending)
+        line += f"; remaining: {detail}"
+    return line

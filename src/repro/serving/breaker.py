@@ -1,0 +1,130 @@
+"""Per-replica circuit breaker: closed → open → half-open → closed.
+
+The breaker protects the broker from wasting deadline budget on a replica
+that keeps failing (persistent crashes, a wedged model, a poisoned cache):
+
+* **CLOSED** — requests flow; outcomes land in a rolling window.  When the
+  window holds at least ``min_requests`` outcomes and the failure rate
+  reaches ``failure_threshold``, the breaker *trips* to OPEN.
+* **OPEN** — the replica is skipped entirely for ``open_cooldown_s``
+  (virtual seconds), letting a crashed worker finish respawning instead of
+  eating a retry per request.
+* **HALF_OPEN** — after the cooldown, a bounded number of *probe* requests
+  are let through.  ``probe_successes`` consecutive successes close the
+  breaker (window cleared); any probe failure re-opens it.
+
+Everything is driven by the broker's **virtual clock** — no wall-clock
+reads — so breaker behavior is bit-reproducible and property-testable
+(``tests/serving/test_breaker.py`` runs hypothesis sequences over it).
+Every transition is recorded (and journaled by the serve loop), which is
+how the bench proves a persistently crashing replica actually trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, List, Optional, Tuple
+
+from collections import deque
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerConfig:
+    window: int = 10               # rolling outcome-window size
+    failure_threshold: float = 0.5  # failure rate in the window that trips
+    min_requests: int = 4          # outcomes required before tripping
+    open_cooldown_s: float = 0.5   # virtual seconds OPEN before probing
+    probe_successes: int = 2       # consecutive probe passes that close
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    at_s: float          # virtual time of the transition
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """One replica's failure-rate breaker, on the broker's virtual clock."""
+
+    def __init__(self, config: Optional[BreakerConfig] = None,
+                 label: str = ""):
+        self.config = config or BreakerConfig()
+        self.label = label
+        self.state = BreakerState.CLOSED
+        self.transitions: List[BreakerTransition] = []
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probe_streak = 0
+
+    # -- queries --------------------------------------------------------
+    def allow(self, now_s: float) -> bool:
+        """May a request be dispatched to this replica at virtual ``now_s``?
+
+        An OPEN breaker whose cooldown has elapsed moves to HALF_OPEN as a
+        side effect (the caller's request becomes the probe).
+        """
+        if self.state is BreakerState.OPEN:
+            if now_s - self._opened_at >= self.config.open_cooldown_s:
+                self._move(BreakerState.HALF_OPEN, now_s,
+                           "cooldown elapsed; probing")
+                return True
+            return False
+        return True
+
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    # -- outcomes -------------------------------------------------------
+    def record_success(self, now_s: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.config.probe_successes:
+                self._outcomes.clear()
+                self._move(BreakerState.CLOSED, now_s,
+                           f"{self._probe_streak} probe successes")
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self, now_s: float, reason: str = "failure") -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(BreakerState.OPEN, now_s, f"probe failed ({reason})")
+            self._opened_at = now_s
+            return
+        if self.state is BreakerState.OPEN:
+            return  # outcomes from in-flight stragglers while open: ignored
+        self._outcomes.append(False)
+        if (len(self._outcomes) >= self.config.min_requests
+                and self.failure_rate() >= self.config.failure_threshold):
+            self._move(BreakerState.OPEN, now_s,
+                       f"failure rate {self.failure_rate():.2f} over "
+                       f"{len(self._outcomes)} requests ({reason})")
+            self._opened_at = now_s
+
+    # -- internals ------------------------------------------------------
+    def _move(self, to: BreakerState, now_s: float, reason: str) -> None:
+        self.transitions.append(BreakerTransition(
+            at_s=round(now_s, 6), from_state=self.state.value,
+            to_state=to.value, reason=reason))
+        self.state = to
+        self._probe_streak = 0

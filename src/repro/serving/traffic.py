@@ -1,0 +1,105 @@
+"""Synthetic open-loop traffic traces for the serving layer.
+
+A trace is the serving analogue of a driving log: an ordered stream of
+camera frames with ground-truth lead distances, a per-tick inter-arrival
+time, and per-tick attack provenance (which frames are adversarial, and
+from which attack family).  Traces are *open-loop* — the stream does not
+react to the served answers — which isolates the serving layer's
+availability and routing behavior from control-loop dynamics, exactly how
+serving benchmarks drive production inference stacks.
+
+Construction is deterministic: frame selection and attack interleaving
+are driven by a seeded generator, so two builds of the same trace are
+bit-identical (a precondition for the serve determinism tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TrafficTrace:
+    """An ordered frame stream with truth + attack provenance per tick."""
+
+    frames: np.ndarray             # (N, C, H, W) float32 in [0, 1]
+    truths: np.ndarray             # (N,) true lead distances (m)
+    dt_ms: float = 50.0            # inter-arrival time (20 Hz default)
+    attack_names: List[str] = field(default_factory=list)  # "" = clean
+
+    def __post_init__(self) -> None:
+        if not self.attack_names:
+            self.attack_names = [""] * len(self.frames)
+        if len(self.attack_names) != len(self.frames):
+            raise ValueError("attack_names length must match frames")
+        if len(self.truths) != len(self.frames):
+            raise ValueError("truths length must match frames")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def attacked(self) -> np.ndarray:
+        return np.array([bool(name) for name in self.attack_names])
+
+    @classmethod
+    def from_clean(cls, images: np.ndarray, distances: np.ndarray,
+                   n_ticks: Optional[int] = None, dt_ms: float = 50.0,
+                   seed: int = 0) -> "TrafficTrace":
+        """Clean trace of ``n_ticks`` frames sampled (with reuse) from a set."""
+        n_ticks = len(images) if n_ticks is None else int(n_ticks)
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, len(images), size=n_ticks)
+        return cls(frames=images[picks].copy(),
+                   truths=np.asarray(distances)[picks].copy(),
+                   dt_ms=dt_ms)
+
+    @classmethod
+    def mixed(cls, images: np.ndarray, distances: np.ndarray,
+              adversarial_sets: Dict[str, np.ndarray],
+              attack_fraction: float = 0.3, n_ticks: Optional[int] = None,
+              dt_ms: float = 50.0, seed: int = 0) -> "TrafficTrace":
+        """Clean traffic with adversarial frames spliced in.
+
+        ``adversarial_sets`` maps attack name → per-frame adversarial copy
+        of ``images`` (the Table II protocol: same eval frames, perturbed).
+        Each tick samples a frame index; with probability
+        ``attack_fraction`` the tick serves one attack's version of that
+        frame (attack drawn uniformly, in sorted-name order for
+        determinism).
+        """
+        n_ticks = len(images) if n_ticks is None else int(n_ticks)
+        names = sorted(adversarial_sets)
+        for name in names:
+            if len(adversarial_sets[name]) != len(images):
+                raise ValueError(f"adversarial set {name!r} does not cover "
+                                 f"the eval frames")
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, len(images), size=n_ticks)
+        attacked = rng.random(n_ticks) < attack_fraction
+        which = rng.integers(0, max(1, len(names)), size=n_ticks)
+        frames = np.empty((n_ticks,) + images.shape[1:], dtype=np.float32)
+        labels: List[str] = []
+        for tick in range(n_ticks):
+            index = int(picks[tick])
+            if names and bool(attacked[tick]):
+                name = names[int(which[tick])]
+                frames[tick] = adversarial_sets[name][index]
+                labels.append(name)
+            else:
+                frames[tick] = images[index]
+                labels.append("")
+        return cls(frames=frames,
+                   truths=np.asarray(distances)[picks].copy(),
+                   dt_ms=dt_ms, attack_names=labels)
+
+    def burst(self, factor: float) -> "TrafficTrace":
+        """The same stream arriving ``factor``× faster (overload bursts)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return TrafficTrace(frames=self.frames, truths=self.truths,
+                            dt_ms=self.dt_ms / factor,
+                            attack_names=list(self.attack_names))

@@ -1,0 +1,162 @@
+"""Quarantine forensics: classification of torn / truncated / flipped files."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import quarantine
+from repro.analysis.cli import main as analysis_main
+from repro.runtime import store
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    store.clear_fault_events()
+    yield str(tmp_path)
+    store.clear_fault_events()
+
+
+def _npz(root, name):
+    path = os.path.join(root, name)
+    store.save_state(path, {"w": np.arange(16, dtype=np.float32)})
+    return path
+
+
+def _json(root, name):
+    path = os.path.join(root, name)
+    store.save_json(path, {"rows": [1, 2, 3], "note": "sentinel " * 30})
+    return path
+
+
+def _one(root):
+    records = quarantine.scan(root)
+    assert len(records) == 1
+    return records[0]
+
+
+class TestNpzClassification:
+    def test_torn_header(self, cache):
+        path = _npz(cache, "a.npz")
+        with open(path, "r+b") as handle:
+            handle.write(b"\x00\x00\x00\x00")
+        assert store.try_load_state(path) is None
+        record = _one(cache)
+        assert record.kind == "torn-header"
+
+    def test_truncation(self, cache):
+        path = _npz(cache, "b.npz")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert store.try_load_state(path) is None
+        assert _one(cache).kind == "truncation"
+
+    def test_bitflip_mid_file(self, cache):
+        path = _npz(cache, "c.npz")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size // 2)
+            byte = handle.read(1)
+            handle.seek(size // 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert store.try_load_state(path) is None
+        assert _one(cache).kind == "bitflip"
+
+    def test_empty_file_is_truncation(self, cache):
+        qdir = os.path.join(cache, store.QUARANTINE_DIRNAME)
+        os.makedirs(qdir)
+        open(os.path.join(qdir, "empty.npz"), "wb").close()
+        assert _one(cache).kind == "truncation"
+
+
+class TestJsonClassification:
+    def test_truncation(self, cache):
+        path = _json(cache, "d.json")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert store.try_load_json(path) is None
+        assert _one(cache).kind == "truncation"
+
+    def test_bitflip_digest_mismatch(self, cache):
+        path = _json(cache, "e.json")
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(data.index(b"sentinel"))
+            handle.write(b"Sentinel")
+        assert store.try_load_json(path) is None
+        record = _one(cache)
+        assert record.kind == "bitflip"
+        assert "digest" in record.detail
+
+    def test_bitflip_syntax_with_tail_intact(self, cache):
+        path = _json(cache, "f.json")
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(data.index(b'"rows"'))
+            handle.write(b"\x07")
+        assert store.try_load_json(path) is None
+        assert _one(cache).kind == "bitflip"
+
+    def test_torn_header(self, cache):
+        path = _json(cache, "g.json")
+        with open(path, "r+b") as handle:
+            handle.write(b"\x00\x00")
+        assert store.try_load_json(path) is None
+        assert _one(cache).kind == "torn-header"
+
+
+class TestScanAndClear:
+    def test_scan_orders_worst_first_and_clear_empties(self, cache):
+        for name, damage in [("a.npz", "header"), ("b.npz", "truncate"),
+                             ("c.json", "flip")]:
+            path = (_npz if name.endswith(".npz") else _json)(cache, name)
+            with open(path, "r+b") as handle:
+                if damage == "header":
+                    handle.write(b"\x00\x00\x00\x00")
+                elif damage == "truncate":
+                    handle.truncate(os.path.getsize(path) // 2)
+                else:
+                    data = handle.read()
+                    handle.seek(data.index(b"sentinel"))
+                    handle.write(b"Sentinel")
+            loader = (store.try_load_state if name.endswith(".npz")
+                      else store.try_load_json)
+            assert loader(path) is None
+        records = quarantine.scan(cache)
+        assert [r.kind for r in records] == ["torn-header", "truncation",
+                                             "bitflip"]
+        assert quarantine.clear(records) == 3
+        assert quarantine.scan(cache) == []
+
+    def test_scan_missing_root_is_empty(self, tmp_path):
+        assert quarantine.scan(str(tmp_path / "nope")) == []
+
+    def test_render_mentions_kind_tally(self, cache):
+        path = _json(cache, "h.json")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        store.try_load_json(path)
+        text = quarantine.render(quarantine.scan(cache), cache)
+        assert "1 truncation" in text
+        assert "h.json" in text
+
+
+class TestCli:
+    def test_json_output_and_clear(self, cache, capsys):
+        path = _npz(cache, "a.npz")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        store.try_load_state(path)
+        code = analysis_main(["quarantine", "--root", cache, "--json",
+                              "--clear"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cleared"] == 1
+        assert payload["records"][0]["kind"] == "truncation"
+        assert quarantine.scan(cache) == []
+
+    def test_empty_cache_reports_nothing(self, cache, capsys):
+        assert analysis_main(["quarantine", "--root", cache]) == 0
+        assert "no quarantined artifacts" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Retraining-fan manifest: journal bridge, progress, resume banner line."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import env, journal, manifest, store
+from repro.runtime.manifest import MANIFEST_FILENAME, RunManifest, describe
+
+
+@pytest.fixture
+def run_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    journal.set_journal(None)
+    env.RUN_ID.set("")
+    yield str(tmp_path / "runs" / "run-0001")
+    journal.set_journal(None)
+    env.RUN_ID.set("")
+
+
+class TestRunManifest:
+    def test_lifecycle(self, run_dir):
+        m = RunManifest(run_dir)
+        m.variant_started("adv-FGSM", path="/x/adv-FGSM.npz")
+        m.variant_started("adv-PGD")
+        m.variant_progress("adv-FGSM", 5)
+        m.variant_done("adv-FGSM")
+        variants = m.variants()
+        assert variants["adv-FGSM"]["status"] == "done"
+        assert variants["adv-FGSM"]["epoch"] == 5
+        assert variants["adv-FGSM"]["path"] == "/x/adv-FGSM.npz"
+        assert m.remaining() == ["adv-PGD"]
+        assert m.done() == ["adv-FGSM"]
+
+    def test_empty_and_corrupt_manifest_read_as_empty(self, run_dir):
+        m = RunManifest(run_dir)
+        assert m.variants() == {}
+        os.makedirs(run_dir, exist_ok=True)
+        with open(m.path, "w") as handle:
+            handle.write("{ not json")
+        assert m.variants() == {}
+
+    def test_describe(self, run_dir):
+        assert describe(run_dir) is None
+        m = RunManifest(run_dir)
+        m.variant_started("adv-FGSM")
+        m.variant_progress("adv-FGSM", 3)
+        m.variant_started("adv-PGD")
+        m.variant_done("adv-PGD")
+        line = describe(run_dir)
+        assert "1/2 variant(s) trained" in line
+        assert "adv-FGSM (epoch 3)" in line
+
+
+class TestJournalBridge:
+    def test_train_events_fold_into_manifest(self, run_dir):
+        log = journal.RunJournal("run-0001", run_dir)
+        log.append({"event": "train-start", "model": "adv-FGSM",
+                    "path": "/x/adv-FGSM.npz"})
+        log.append({"event": "train-progress", "label": "zoo.adv-FGSM",
+                    "epoch": 4})
+        log.append({"event": "cell", "grid": "g", "cell": "c",
+                    "status": "done"})
+        assert os.path.exists(os.path.join(run_dir, MANIFEST_FILENAME))
+        m = RunManifest(run_dir)
+        assert m.remaining() == ["adv-FGSM"]
+        assert m.variants()["adv-FGSM"]["epoch"] == 4
+        log.append({"event": "train-done", "model": "adv-FGSM"})
+        assert m.remaining() == []
+
+    def test_checkpointer_snapshot_reports_progress(self, run_dir,
+                                                    monkeypatch):
+        from repro.models.training import EpochCheckpointer
+        from repro.nn import Adam, Tensor
+
+        log = journal.RunJournal("run-0001", run_dir)
+        journal.set_journal(log)
+
+        class Module:
+            def __init__(self):
+                self.w = Tensor(np.zeros(3, dtype=np.float32))
+
+            def state_dict(self):
+                return {"w": self.w.data}
+
+            def parameters(self):
+                return [self.w]
+
+        module = Module()
+        optimizer = Adam(module.parameters(), lr=1e-3)
+        ckpt = EpochCheckpointer(os.path.join(run_dir, "m.ckpt.npz"),
+                                 every=1, label="zoo.variant-x")
+        ckpt.save(2, module, optimizer, np.random.default_rng(0), [1.0, 0.5])
+        m = RunManifest(run_dir)
+        assert m.variants()["variant-x"]["epoch"] == 2
+        assert "variant-x" in m.remaining()
+
+    def test_manifest_write_failure_does_not_break_journal(self, run_dir,
+                                                           monkeypatch):
+        def boom(path, payload, scope=None):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "save_json", boom)
+        log = journal.RunJournal("run-0001", run_dir)
+        log.append({"event": "train-start", "model": "x", "path": "/x"})
+        assert log.events()[-1]["event"] == "train-start"

@@ -1,0 +1,163 @@
+"""Circuit-breaker state machine: unit + hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import BreakerConfig, BreakerState, CircuitBreaker
+
+pytestmark = pytest.mark.serving
+
+#: every edge the state machine is allowed to take.
+LEGAL_EDGES = {
+    ("closed", "open"),
+    ("open", "half-open"),
+    ("half-open", "open"),
+    ("half-open", "closed"),
+}
+
+
+def _config(**overrides):
+    defaults = dict(window=6, failure_threshold=0.5, min_requests=3,
+                    open_cooldown_s=1.0, probe_successes=2)
+    defaults.update(overrides)
+    return BreakerConfig(**defaults)
+
+
+class TestUnit:
+    def test_trips_at_failure_rate(self):
+        breaker = CircuitBreaker(_config())
+        for i in range(3):
+            assert breaker.allow(float(i))
+            breaker.record_failure(float(i))
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(2.5)
+
+    def test_does_not_trip_below_min_requests(self):
+        breaker = CircuitBreaker(_config(min_requests=4))
+        for i in range(3):
+            breaker.record_failure(float(i))
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_then_probe_successes_close(self):
+        breaker = CircuitBreaker(_config())
+        for i in range(3):
+            breaker.record_failure(float(i))
+        assert not breaker.allow(2.9)          # still cooling down
+        assert breaker.allow(3.1)              # cooldown elapsed -> probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(3.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(3.3)
+        assert breaker.state is BreakerState.CLOSED
+        # window was cleared: old failures cannot trip the fresh breaker
+        breaker.record_failure(3.4)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(_config())
+        for i in range(3):
+            breaker.record_failure(float(i))
+        assert breaker.allow(10.0)
+        breaker.record_failure(10.1)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(10.2)
+        # a fresh cooldown runs from the re-open time
+        assert breaker.allow(11.2)
+
+    def test_outcomes_while_open_are_ignored(self):
+        breaker = CircuitBreaker(_config())
+        for i in range(3):
+            breaker.record_failure(float(i))
+        transitions = len(breaker.transitions)
+        breaker.record_failure(2.5)            # straggler lands while OPEN
+        assert len(breaker.transitions) == transitions
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(window=0)
+
+
+@st.composite
+def outcome_sequences(draw):
+    """(outcome, dt) steps: True=success, False=failure, dt>0 advances."""
+    steps = draw(st.lists(
+        st.tuples(st.booleans(),
+                  st.floats(0.01, 2.0, allow_nan=False)),
+        min_size=1, max_size=60))
+    return steps
+
+
+class TestProperties:
+    @given(outcome_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_only_legal_transitions_and_ordered_times(self, steps):
+        breaker = CircuitBreaker(_config())
+        now = 0.0
+        for ok, dt in steps:
+            now += dt
+            if not breaker.allow(now):
+                continue
+            if ok:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+        edges = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert set(edges) <= LEGAL_EDGES
+        times = [t.at_s for t in breaker.transitions]
+        assert times == sorted(times)
+
+    @given(outcome_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_never_trips_with_fewer_than_min_requests_outcomes(self, steps):
+        config = _config(min_requests=4)
+        breaker = CircuitBreaker(config)
+        seen = 0
+        now = 0.0
+        for ok, dt in steps:
+            now += dt
+            if not breaker.allow(now):
+                continue
+            if ok:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+            seen += 1
+            if breaker.state is BreakerState.OPEN:
+                break
+        if breaker.state is BreakerState.OPEN:
+            assert seen >= config.min_requests
+
+    @given(outcome_sequences(),
+           st.floats(0.1, 3.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_open_denies_until_cooldown(self, steps, cooldown):
+        breaker = CircuitBreaker(_config(open_cooldown_s=cooldown))
+        now = 0.0
+        for ok, dt in steps:
+            now += dt
+            allowed = breaker.allow(now)
+            if breaker.state is BreakerState.OPEN:
+                # denial is exactly "cooldown not yet elapsed"
+                assert not allowed
+            if not allowed:
+                continue
+            if ok:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+        for transition in breaker.transitions:
+            if transition.to_state == "half-open":
+                assert transition.reason == "cooldown elapsed; probing"
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_all_successes_never_trip(self, _):
+        breaker = CircuitBreaker(_config())
+        for i in range(40):
+            assert breaker.allow(float(i))
+            breaker.record_success(float(i))
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.transitions == []

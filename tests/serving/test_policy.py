@@ -1,0 +1,97 @@
+"""Retry backoff, latency model, latency tracker: determinism + properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import LatencyModel, LatencyTracker, RetryPolicy
+
+pytestmark = pytest.mark.serving
+
+
+class TestRetryPolicy:
+    def test_deterministic_across_instances(self):
+        a = RetryPolicy()
+        b = RetryPolicy()
+        for seq in range(5):
+            for attempt in range(1, 4):
+                assert a.delay_ms(seq, attempt) == b.delay_ms(seq, attempt)
+
+    def test_attempt_zero_is_free(self):
+        assert RetryPolicy().delay_ms(0, 0) == 0.0  # repro: noqa[R005] -- exact zero by construction: attempt 0 never backs off
+
+    @given(st.integers(0, 10_000), st.integers(1, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_up_to_cap(self, seq, attempt):
+        policy = RetryPolicy()
+        uncapped_next = policy.base_ms * policy.multiplier ** attempt
+        if uncapped_next >= policy.max_ms:
+            return  # past the cap only boundedness is promised
+        assert (policy.delay_ms(seq, attempt)
+                <= policy.delay_ms(seq, attempt + 1))
+
+    @given(st.integers(0, 10_000), st.integers(1, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_cap_plus_jitter(self, seq, attempt):
+        policy = RetryPolicy()
+        delay = policy.delay_ms(seq, attempt)
+        assert 0.0 < delay <= (policy.max_ms
+                               + policy.jitter_frac * policy.base_ms)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_jitter_decorrelates_requests(self, seq):
+        policy = RetryPolicy()
+        assert policy.delay_ms(seq, 1) != policy.delay_ms(seq + 1, 1)
+
+
+class TestLatencyModel:
+    def test_deterministic_per_key(self):
+        model = LatencyModel()
+        draws = {(slot, seq, attempt): model.service_ms(slot, seq, attempt)
+                 for slot in range(3) for seq in range(5)
+                 for attempt in range(2)}
+        again = LatencyModel()
+        for (slot, seq, attempt), value in draws.items():
+            assert again.service_ms(slot, seq, attempt) == value
+
+    def test_keys_decorrelate(self):
+        model = LatencyModel()
+        assert model.service_ms(0, 0, 0) != model.service_ms(1, 0, 0)
+        assert model.service_ms(0, 0, 0) != model.service_ms(0, 1, 0)
+        assert model.service_ms(0, 0, 0) != model.service_ms(0, 0, 1)
+
+    def test_defended_costs_more(self):
+        model = LatencyModel()
+        assert (model.service_ms(0, 0, 0, defended=True)
+                == model.service_ms(0, 0, 0) + model.defended_extra_ms)
+
+    def test_positive_and_long_tailed(self):
+        model = LatencyModel()
+        draws = np.array([model.service_ms(0, seq, 0)
+                          for seq in range(2000)])
+        assert (draws > 0).all()
+        # stragglers exist and dominate the body
+        assert draws.max() > 4 * np.median(draws)
+
+
+class TestLatencyTracker:
+    def test_warmup_returns_none(self):
+        tracker = LatencyTracker(percentile=95.0, min_samples=5)
+        for _ in range(4):
+            tracker.record(10.0)
+        assert tracker.hedge_after_ms() is None
+        tracker.record(10.0)
+        assert tracker.hedge_after_ms() == 10.0  # repro: noqa[R005] -- percentile of identical samples is exact
+
+    def test_percentile_100_disables_hedging(self):
+        tracker = LatencyTracker(percentile=100.0, min_samples=1)
+        tracker.record(10.0)
+        assert tracker.hedge_after_ms() is None
+
+    def test_window_slides(self):
+        tracker = LatencyTracker(percentile=50.0, min_samples=1, window=4)
+        for value in (100.0, 100.0, 100.0, 100.0, 1.0, 1.0, 1.0, 1.0):
+            tracker.record(value)
+        assert tracker.hedge_after_ms() == 1.0  # repro: noqa[R005] -- window holds only 1.0 samples; median is exact

@@ -1,0 +1,114 @@
+"""Replica pool: real forked crash/hang/respawn + serial-mode synthesis."""
+
+import pytest
+
+from repro.runtime.parallel import fork_available
+from repro.serving import ReplicaPool, REPLICA_SCOPE, slot_scope
+
+pytestmark = pytest.mark.serving
+
+forked_only = pytest.mark.skipif(not fork_available(),
+                                 reason="needs os.fork")
+
+
+def _echo(payload):
+    if payload == "boom":
+        raise ValueError("handler exploded")
+    return ("echo", payload)
+
+
+@pytest.fixture
+def plan_env(monkeypatch):
+    def set_plan(spec):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", spec)
+    return set_plan
+
+
+class TestForked:
+    @forked_only
+    def test_ok_and_raised(self):
+        with ReplicaPool(_echo, n_replicas=2, wall_timeout=5.0,
+                         forked=True) as pool:
+            reply = pool.call(0, 0, "hello")
+            assert reply.status == "ok"
+            assert reply.value == ("echo", "hello")
+            reply = pool.call(1, 1, "boom")
+            assert reply.status == "raised"
+            assert "handler exploded" in reply.detail
+            # a raising handler leaves the replica alive
+            assert pool.call(1, 2, "x").status == "ok"
+            assert pool.respawns == 0
+
+    @forked_only
+    def test_injected_crash_respawns(self, plan_env):
+        plan_env(f"crash@{slot_scope(0)}:attempt=1")
+        with ReplicaPool(_echo, n_replicas=2, wall_timeout=5.0,
+                         forked=True) as pool:
+            assert pool.call(0, 0, "a").status == "ok"
+            reply = pool.call(0, 1, "b")
+            assert reply.status == "crashed"
+            assert pool.respawns == 1
+            assert [e.kind for e in pool.events] == ["crashed"]
+            # the respawned process serves again
+            assert pool.call(0, 2, "c").status == "ok"
+            # the sibling slot never noticed
+            assert pool.call(1, 3, "d").status == "ok"
+
+    @forked_only
+    def test_injected_hang_times_out_and_respawns(self, plan_env):
+        plan_env(f"hang@{slot_scope(0)}:attempt=0")
+        with ReplicaPool(_echo, n_replicas=1, wall_timeout=0.5,
+                         forked=True) as pool:
+            reply = pool.call(0, 0, "a")
+            assert reply.status == "hung"
+            assert pool.respawns == 1
+            assert pool.call(0, 1, "b").status == "ok"
+
+    @forked_only
+    def test_probe_heals_a_dead_replica(self):
+        with ReplicaPool(_echo, n_replicas=1, wall_timeout=2.0,
+                         forked=True) as pool:
+            assert pool.probe(0)
+            # murder the replica out-of-band; the probe must detect + heal
+            pool._replicas[0].process.terminate()
+            pool._replicas[0].process.join()
+            assert not pool.probe(0)
+            assert pool.respawns == 1
+            assert [e.kind for e in pool.events] == ["probe-failed"]
+            assert pool.probe(0)
+            assert pool.call(0, 5, "x").status == "ok"
+
+
+class TestSerial:
+    def test_serial_synthesizes_planned_outcomes(self, plan_env):
+        plan_env(f"crash@{slot_scope(0)}:attempt=1,"
+                 f"hang@{slot_scope(1)}:attempt=2,"
+                 f"raise@{REPLICA_SCOPE}:attempt=3")
+        pool = ReplicaPool(_echo, n_replicas=2, forked=False)
+        assert pool.call(0, 0, "a").status == "ok"
+        assert pool.call(0, 1, "a").status == "crashed"
+        assert pool.call(1, 2, "a").status == "hung"
+        assert pool.call(1, 3, "a").status == "raised"
+        assert pool.respawns == 2
+        assert pool.probe(0)
+
+    @forked_only
+    def test_serial_matches_forked_outcome_stream(self, plan_env):
+        plan = (f"crash@{slot_scope(0)}:attempt=1,"
+                f"raise@{REPLICA_SCOPE}:attempt=3")
+        plan_env(plan)
+        calls = [(0, 0), (0, 1), (0, 2), (1, 3), (1, 4)]
+        serial = ReplicaPool(_echo, n_replicas=2, forked=False)
+        serial_statuses = [serial.call(slot, seq, "x").status
+                           for slot, seq in calls]
+        with ReplicaPool(_echo, n_replicas=2, wall_timeout=5.0,
+                         forked=True) as forked:
+            forked_statuses = [forked.call(slot, seq, "x").status
+                               for slot, seq in calls]
+        assert serial_statuses == forked_statuses
+        assert serial_statuses == ["ok", "crashed", "ok", "raised", "ok"]
+
+    def test_bad_slot_raises(self):
+        pool = ReplicaPool(_echo, n_replicas=1, forked=False)
+        with pytest.raises(IndexError):
+            pool.call(5, 0, "x")

@@ -1,0 +1,106 @@
+"""Defense router: mid-band scorer separation, calibration, fail-safe."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (AdmissionScorer, DefenseRouter, DEFENDED_PATH,
+                           FAST_PATH)
+
+pytestmark = pytest.mark.serving
+
+
+def _clean_frames(n=24, size=32, seed=0):
+    """Synthetic 'rendered' frames: smooth gradients + hard-edged objects."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(n):
+        ramp = np.linspace(0.2, 0.8, size, dtype=np.float32)
+        frame = np.broadcast_to(ramp, (3, size, size)).copy()
+        # a few solid boxes give edge-sized residuals (≫ mid-band)
+        for _ in range(3):
+            y, x = rng.integers(2, size - 8, size=2)
+            frame[:, y:y + 6, x:x + 6] = rng.uniform(0.0, 1.0)
+        frames.append(frame)
+    return np.stack(frames)
+
+
+def _perturb(frames, epsilon=0.06, seed=1):
+    """Bounded adversarial-style noise confined to a patch, like the paper's
+    box-masked attacks."""
+    rng = np.random.default_rng(seed)
+    attacked = frames.copy()
+    size = frames.shape[-1]
+    for frame in attacked:
+        y, x = rng.integers(4, size - 12, size=2)
+        noise = rng.uniform(-epsilon, epsilon,
+                            size=(3, 8, 8)).astype(np.float32)
+        frame[:, y:y + 8, x:x + 8] = np.clip(
+            frame[:, y:y + 8, x:x + 8] + noise, 0.0, 1.0)
+    return attacked
+
+
+class TestAdmissionScorer:
+    def test_separates_perturbed_from_clean(self):
+        clean = _clean_frames()
+        attacked = _perturb(clean)
+        scorer = AdmissionScorer()
+        scorer.calibrate(clean)
+        clean_flags = sum(scorer.score(f) > scorer.threshold for f in clean)
+        attacked_flags = sum(scorer.score(f) > scorer.threshold
+                             for f in attacked)
+        assert attacked_flags >= 0.8 * len(attacked)
+        assert clean_flags <= 0.1 * len(clean)
+
+    def test_score_is_deterministic_and_bounded(self):
+        frame = _perturb(_clean_frames(n=1))[0]
+        scorer = AdmissionScorer()
+        score = scorer.score(frame)
+        assert 0.0 <= score <= 1.0
+        assert scorer.score(frame) == score
+
+    def test_calibrate_sets_threshold_above_clean_quantile(self):
+        clean = _clean_frames()
+        scorer = AdmissionScorer()
+        threshold = scorer.calibrate(clean, quantile=0.95, margin=1.05)
+        assert threshold == scorer.threshold
+        scores = [scorer.score(f) for f in clean]
+        assert threshold >= np.quantile(scores, 0.95)
+
+
+class TestDefenseRouter:
+    def test_routes_suspicious_frames_to_defended_path(self):
+        clean = _clean_frames()
+        attacked = _perturb(clean)
+        scorer = AdmissionScorer()
+        scorer.calibrate(clean)
+        router = DefenseRouter(scorer)
+        attacked_defended = sum(
+            router.route(seq, frame).path == DEFENDED_PATH
+            for seq, frame in enumerate(attacked))
+        assert attacked_defended >= 0.8 * len(attacked)
+        assert router.routed_defended == attacked_defended
+
+    def test_disabled_router_is_all_fast_path(self):
+        router = DefenseRouter(AdmissionScorer(), enabled=False)
+        decision = router.route(0, _clean_frames(n=1)[0])
+        assert decision.path == FAST_PATH
+
+    def test_uncalibrated_scorer_is_an_error(self):
+        router = DefenseRouter(AdmissionScorer())
+        with pytest.raises(RuntimeError, match="calibrate"):
+            router.route(0, _clean_frames(n=1)[0])
+
+    def test_scorer_fault_fails_safe_to_defended(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           "raise@serve.scorer:attempt=3")
+        clean = _clean_frames()
+        scorer = AdmissionScorer()
+        scorer.calibrate(clean)
+        router = DefenseRouter(scorer)
+        ok = router.route(2, clean[0])
+        assert not ok.scorer_fault
+        hit = router.route(3, clean[0])
+        assert hit.scorer_fault
+        assert hit.path == DEFENDED_PATH
+        assert np.isnan(hit.score)
+        assert router.scorer_faults == 1

@@ -1,0 +1,68 @@
+"""Traffic traces: seeded sampling, attack mixing, burst scaling."""
+
+import numpy as np
+import pytest
+
+from repro.serving import TrafficTrace
+
+pytestmark = pytest.mark.serving
+
+
+def _frames(n=6, size=8):
+    rng = np.random.default_rng(0)
+    return (rng.uniform(0, 1, size=(n, 3, size, size)).astype(np.float32),
+            np.linspace(10.0, 60.0, n))
+
+
+class TestFromClean:
+    def test_seeded_and_deterministic(self):
+        images, distances = _frames()
+        a = TrafficTrace.from_clean(images, distances, n_ticks=20, seed=3)
+        b = TrafficTrace.from_clean(images, distances, n_ticks=20, seed=3)
+        assert len(a) == 20
+        np.testing.assert_array_equal(a.frames, b.frames)
+        np.testing.assert_array_equal(a.truths, b.truths)
+        assert a.attack_names == [""] * 20
+        assert not any(a.attacked)
+
+    def test_truths_track_frames(self):
+        images, distances = _frames()
+        trace = TrafficTrace.from_clean(images, distances, n_ticks=40, seed=0)
+        for frame, truth in zip(trace.frames, trace.truths):
+            index = int(np.argmin(np.abs(distances - truth)))
+            np.testing.assert_array_equal(frame, images[index])
+
+
+class TestMixed:
+    def test_attack_fraction_and_names(self):
+        images, distances = _frames()
+        adversarial = {"FGSM": images + 0.01, "CAP": images + 0.02}
+        trace = TrafficTrace.mixed(images, distances, adversarial,
+                                   attack_fraction=0.5, n_ticks=200, seed=1)
+        attacked = sum(trace.attacked)
+        assert 0.35 * 200 <= attacked <= 0.65 * 200
+        assert set(trace.attack_names) <= {"", "FGSM", "CAP"}
+        # attacked ticks carry the adversarial pixels
+        for i, name in enumerate(trace.attack_names):
+            if name:
+                assert not np.array_equal(trace.frames[i],
+                                          images[np.argmin(
+                                              np.abs(distances
+                                                     - trace.truths[i]))])
+
+    def test_incomplete_adversarial_set_rejected(self):
+        images, distances = _frames()
+        with pytest.raises(ValueError):
+            TrafficTrace.mixed(images, distances,
+                               {"FGSM": images[:2] + 0.01},
+                               n_ticks=10, seed=0)
+
+
+class TestBurst:
+    def test_burst_compresses_interarrival(self):
+        images, distances = _frames()
+        trace = TrafficTrace.from_clean(images, distances, n_ticks=10, seed=0)
+        burst = trace.burst(4.0)
+        assert burst.dt_ms == trace.dt_ms / 4.0
+        assert len(burst) == len(trace)
+        np.testing.assert_array_equal(burst.frames, trace.frames)

@@ -5,6 +5,7 @@
 #   tools/ci.sh full     # ... then the full test suite
 #   tools/ci.sh analyze  # static lint + analysis tier + sanitized smoke run
 #   tools/ci.sh resume   # kill a journaled run mid-grid, resume, diff tables
+#   tools/ci.sh serve    # chaos serve drill + serving lint + serving suite
 #
 # Tier 1 (smoke): fast confidence check — see tools/smoke.sh.
 # Tier 2 (faults): the fault-injection robustness suite (pytest -m faults):
@@ -22,6 +23,11 @@
 #   kills a journaled table3 run mid-grid under a fault plan, resumes it via
 #   `repro.cli run --resume`, and asserts the resumed table is bit-identical
 #   to an uninterrupted run.
+# Serve tier (opt-in): the fault-tolerant serving layer — the serving lint
+#   slice, tools/serve_smoke.py (a chaos drill that crash-loops/hangs
+#   replicas and faults the scorer, asserting zero unserved ticks, journaled
+#   breaker trips, and bit-identical serial/forked fingerprints), and the
+#   serving test suite (pytest -m serving).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
@@ -48,6 +54,18 @@ fi
 if [[ "${1:-}" == "resume" ]]; then
     echo "== CI resume: kill / resume / diff =="
     python tools/resume_smoke.py
+    exit 0
+fi
+
+if [[ "${1:-}" == "serve" ]]; then
+    echo "== CI serve: serving lint slice =="
+    python -m repro.cli analyze lint src/repro/serving
+
+    echo "== CI serve: chaos drill =="
+    python tools/serve_smoke.py
+
+    echo "== CI serve: serving suite =="
+    python -m pytest -m serving -q
     exit 0
 fi
 

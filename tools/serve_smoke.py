@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke: chaos drill, full coverage, journaled breakers.
+
+Scenario (driven by ``tools/ci.sh serve``):
+
+1. **Chaos drill** — serve a 60-tick synthetic trace through the
+   fault-tolerant stack under an injected fault plan that crash-loops one
+   replica, hangs another mid-run, and faults the admission scorer once.
+   Assert zero unserved ticks (every tick is answered, coasted, or shed),
+   that the injected faults actually fired, and that the crash-looping
+   replica tripped its circuit breaker.
+2. **Journal** — assert the run journal recorded the serve lifecycle
+   (``serve-start`` / ``serve-breaker`` / ``serve-end``).
+3. **Determinism** — repeat the identical drill and assert the report
+   fingerprints are bit-identical; where ``fork`` exists, repeat it once
+   more on real forked replicas and assert the forked report matches the
+   in-process one bit-for-bit even though processes genuinely died.
+
+Uses a shrunk regressor (cached after the first run) so a fresh checkout
+pays seconds of training, not minutes.
+"""
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+CHAOS_PLAN = ("crash@serve.replica.0:attempt=5-12,"
+              "hang@serve.replica.1:attempt=8,"
+              "raise@serve.scorer:attempt=4")
+
+
+def _serve(stack, forked):
+    from repro.serving import BrokerConfig, ServeConfig, run_serve
+
+    server, trace, scorer = stack
+    config = ServeConfig(broker=BrokerConfig(deadline_ms=60.0),
+                         forked=forked, wall_timeout=1.0)
+    return run_serve(trace, server, config, scorer=scorer)
+
+
+def main():
+    import tempfile
+
+    from repro.eval.harness import make_balanced_eval_frames
+    from repro.models import zoo
+    from repro.pipeline.perception import PerceptionService
+    from repro.runtime import env, journal
+    from repro.runtime.parallel import fork_available
+    from repro.serving import AdmissionScorer, PerceptionServer, TrafficTrace
+
+    model = zoo.get_regressor(n_frames=24, epochs=2)
+    images, distances, _ = make_balanced_eval_frames(n_per_range=4, seed=7)
+    trace = TrafficTrace.from_clean(images, distances, n_ticks=60, seed=7)
+    scorer = AdmissionScorer()
+    scorer.calibrate(images)
+    stack = (PerceptionServer(PerceptionService(model)), trace, scorer)
+
+    previous_plan = env.FAULT_PLAN.raw() or ""
+    env.FAULT_PLAN.set(CHAOS_PLAN)
+    try:
+        print(f"== serve smoke: chaos drill ({CHAOS_PLAN}) ==", flush=True)
+        with tempfile.TemporaryDirectory(prefix="serve-smoke-") as scratch:
+            log = journal.RunJournal("run-0001", scratch)
+            journal.set_journal(log)
+            try:
+                report = _serve(stack, forked=False)
+            finally:
+                journal.set_journal(None)
+            summary = report.summary()
+            for key in ("ticks", "answered", "coasted", "shed", "unserved",
+                        "availability", "crashes", "hangs", "breaker_trips",
+                        "respawns", "scorer_faults"):
+                print(f"   {key}: {summary[key]}")
+            if summary["unserved"] != 0:
+                raise SystemExit(f"{summary['unserved']} tick(s) unserved — "
+                                 "the degradation ladder leaked")
+            if summary["crashes"] < 1 or summary["hangs"] < 1:
+                raise SystemExit("injected replica faults did not fire: "
+                                 f"{summary}")
+            if summary["scorer_faults"] != 1:
+                raise SystemExit("expected exactly one scorer fault, got "
+                                 f"{summary['scorer_faults']}")
+            if summary["breaker_trips"] < 1:
+                raise SystemExit("the crash-looping replica never tripped "
+                                 "its breaker")
+            events = [e["event"] for e in log.events()]
+            for expected in ("serve-start", "serve-breaker", "serve-end"):
+                if expected not in events:
+                    raise SystemExit(f"journal is missing a {expected} "
+                                     f"event: {sorted(set(events))}")
+            print("   journal: serve-start / serve-breaker / serve-end ok")
+
+        print("== serve smoke: determinism ==", flush=True)
+        fingerprint = report.fingerprint()
+        repeat = _serve(stack, forked=False)
+        if repeat.fingerprint() != fingerprint:
+            raise SystemExit("identical chaos drills produced different "
+                             "fingerprints")
+        print(f"   repeat run is bit-identical ({fingerprint[:16]}…)")
+
+        if fork_available():
+            forked = _serve(stack, forked=True)
+            if forked.summary()["respawns"] < 1:
+                raise SystemExit("forked drill recorded no respawns — no "
+                                 "process actually died")
+            if forked.fingerprint() != fingerprint:
+                raise SystemExit("forked report diverged from the "
+                                 "in-process report")
+            print("   forked replicas died, respawned, and matched "
+                  "bit-for-bit")
+        else:
+            print("   fork unavailable: skipped the forked drill")
+    finally:
+        env.FAULT_PLAN.set(previous_plan)
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
